@@ -1,0 +1,150 @@
+(* CLI driver for the reproduction experiments.
+
+     sec_bench list                   show experiment ids
+     sec_bench run fig2 [options]     regenerate one figure/table
+     sec_bench all [options]          regenerate everything
+
+   Options: --scale (duration multiplier), --csv DIR, --native (append
+   native-domain sanity sweeps), --seed N. *)
+
+open Cmdliner
+
+module E = Sec_harness.Experiments
+
+let scale_arg =
+  let doc = "Duration multiplier (1.0 = default run length)." in
+  Arg.(value & opt float 1.0 & info [ "scale" ] ~docv:"X" ~doc)
+
+let csv_arg =
+  let doc = "Directory to write CSV series into." in
+  Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
+
+let native_arg =
+  let doc =
+    "Also run small native-domain sweeps (limited by this host's cores)."
+  in
+  Arg.(value & flag & info [ "native" ] ~doc)
+
+let seed_arg =
+  let doc = "Simulation seed (results are deterministic per seed)." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let opts_term =
+  let make scale csv_dir native seed =
+    { E.scale; csv_dir; native; seed }
+  in
+  Term.(const make $ scale_arg $ csv_arg $ native_arg $ seed_arg)
+
+let run_one opts id =
+  match E.find id with
+  | None ->
+      Printf.eprintf "unknown experiment %S; try `sec_bench list`\n" id;
+      exit 1
+  | Some e ->
+      Printf.printf "== %s: %s ==\n%!" e.E.id e.E.title;
+      e.E.run opts
+
+let list_cmd =
+  let run () =
+    List.iter
+      (fun (e : E.t) -> Printf.printf "%-18s %s\n" e.E.id e.E.title)
+      E.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List experiment ids") Term.(const run $ const ())
+
+let run_cmd =
+  let id_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"EXPERIMENT")
+  in
+  let run opts id = run_one opts id in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one experiment (a figure or table id)")
+    Term.(const run $ opts_term $ id_arg)
+
+let all_cmd =
+  let run opts = List.iter (fun (e : E.t) -> run_one opts e.E.id) E.all in
+  Cmd.v (Cmd.info "all" ~doc:"Run every experiment") Term.(const run $ opts_term)
+
+(* Ad-hoc sweeps: any algorithms, any workload, any machine profile. *)
+let sweep_cmd =
+  let machine_arg =
+    let doc = "Machine profile: emerald, icelake, sapphire or testbox." in
+    Arg.(value & opt string "emerald" & info [ "machine" ] ~docv:"NAME" ~doc)
+  in
+  let workload_arg =
+    let doc =
+      "Workload label: 100%upd, 50%upd, 10%upd, push-only or pop-only."
+    in
+    Arg.(value & opt string "100%upd" & info [ "workload" ] ~docv:"MIX" ~doc)
+  in
+  let algos_arg =
+    let doc = "Comma-separated algorithm names (see `sec_bench algos`)." in
+    Arg.(
+      value
+      & opt (list string) [ "SEC"; "TRB"; "EB" ]
+      & info [ "algos" ] ~docv:"A,B,..." ~doc)
+  in
+  let threads_arg =
+    let doc = "Comma-separated thread counts (default: the machine's sweep)." in
+    Arg.(value & opt (some (list int)) None & info [ "threads" ] ~docv:"N,..." ~doc)
+  in
+  let run opts machine workload algos threads =
+    let topology = Sec_sim.Topology.by_name machine in
+    let mix = Sec_harness.Workload.by_name workload in
+    let threads =
+      match threads with Some l -> l | None -> E.threads_for topology
+    in
+    let duration = E.duration_cycles opts in
+    let rows =
+      List.map
+        (fun name ->
+          let entry = Sec_harness.Registry.find name in
+          let values =
+            List.map
+              (fun n ->
+                (Sec_harness.Sim_runner.run entry.Sec_harness.Registry.maker
+                   ~topology ~threads:n ~duration_cycles:duration ~mix
+                   ~seed:opts.E.seed ())
+                  .Sec_harness.Measurement.mops)
+              threads
+          in
+          (name, Array.of_list values))
+        algos
+    in
+    Sec_harness.Report.series
+      ~title:
+        (Printf.sprintf "Custom sweep [%s, simulated %s] (Mops/s)" workload
+           machine)
+      ~columns:threads ~rows;
+    Option.iter
+      (fun dir ->
+        Sec_harness.Report.csv_of_series ~dir ~file:"sweep.csv" ~columns:threads
+          ~rows)
+      opts.E.csv_dir
+  in
+  Cmd.v
+    (Cmd.info "sweep"
+       ~doc:"Run a custom throughput sweep (any algorithms/workload/machine)")
+    Term.(const run $ opts_term $ machine_arg $ workload_arg $ algos_arg
+          $ threads_arg)
+
+let algos_cmd =
+  let run () =
+    List.iter
+      (fun (e : Sec_harness.Registry.entry) ->
+        Printf.printf "%s\n" e.Sec_harness.Registry.name)
+      (Sec_harness.Registry.all @ Sec_harness.Registry.sec_aggregator_sweep)
+  in
+  Cmd.v
+    (Cmd.info "algos" ~doc:"List available algorithm names")
+    Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "sec_bench"
+      ~doc:
+        "Regenerate the figures and tables of the SEC stack paper (PPoPP \
+         '26) on a simulated NUMA machine"
+  in
+  exit
+    (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; sweep_cmd; algos_cmd ]))

@@ -1,0 +1,1 @@
+examples/freelist.ml: Atomic Bytes Char Domain Int64 List Printf Sec_core Sec_prim

@@ -1,0 +1,1 @@
+examples/graph_traversal.ml: Array Atomic Domain Int64 List Printf Sec_core Sec_prim Unix

@@ -1,0 +1,1 @@
+examples/producer_consumer.ml: Atomic Domain Format List Printf Sec_core Sec_prim Sec_sim

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Domain Format List Printf Sec_core Sec_prim

@@ -1,0 +1,1 @@
+examples/simulator_playground.ml: Format List Printf Sec_harness Sec_sim

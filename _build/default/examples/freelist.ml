@@ -1,0 +1,58 @@
+(* A shared free-list of reusable buffers backed by the SEC stack — the
+   "shared freelists in garbage collection" motivation from the paper's
+   introduction. Threads acquire a buffer (pop, or allocate fresh when the
+   list is empty) and release it back (push); LIFO order maximises cache
+   reuse of recently freed buffers.
+
+     dune exec examples/freelist.exe *)
+
+module Sec = Sec_core.Sec_stack.Make (Sec_prim.Native)
+
+type buffer = { id : int; data : bytes }
+
+let buffer_size = 4096
+
+let () =
+  let domains = 4 in
+  let freelist : buffer Sec.t = Sec.create ~max_threads:domains () in
+  let fresh_allocations = Atomic.make 0 in
+  let acquire ~tid =
+    match Sec.pop freelist ~tid with
+    | Some b -> b
+    | None ->
+        let id = Atomic.fetch_and_add fresh_allocations 1 in
+        { id; data = Bytes.create buffer_size }
+  in
+  let release ~tid b = Sec.push freelist ~tid b in
+
+  let acquisitions_per_domain = 30_000 in
+  let worker tid () =
+    let rng = Sec_prim.Rng.create (Int64.of_int (tid + 1)) in
+    (* Hold a small, varying working set to create real churn. *)
+    let held = ref [] in
+    for _ = 1 to acquisitions_per_domain do
+      let b = acquire ~tid in
+      Bytes.set b.data 0 (Char.chr (b.id land 0xff));
+      held := b :: !held;
+      if List.length !held > 1 + Sec_prim.Rng.int rng 4 then begin
+        match !held with
+        | b :: rest ->
+            release ~tid b;
+            held := rest
+        | [] -> ()
+      end
+    done;
+    List.iter (release ~tid) !held
+  in
+  let spawned = List.init (domains - 1) (fun i -> Domain.spawn (worker (i + 1))) in
+  worker 0 ();
+  List.iter Domain.join spawned;
+
+  let total = domains * acquisitions_per_domain in
+  let fresh = Atomic.get fresh_allocations in
+  Printf.printf "acquisitions:      %d\n" total;
+  Printf.printf "fresh allocations: %d (%.2f%% — the rest were reused)\n" fresh
+    (100. *. float_of_int fresh /. float_of_int total);
+  Printf.printf "buffers on freelist at exit: %d\n" (Sec.depth freelist);
+  if Sec.depth freelist <> fresh then failwith "freelist leaked buffers!";
+  print_endline "all buffers accounted for."

@@ -1,0 +1,35 @@
+(* Quickstart: create a SEC stack, use it from a few domains, inspect the
+   batching statistics.
+
+     dune exec examples/quickstart.exe *)
+
+module Sec = Sec_core.Sec_stack.Make (Sec_prim.Native)
+
+let () =
+  (* Two aggregators (the paper's default), statistics on. *)
+  let config = Sec_core.Config.(with_stats default) in
+  let stack = Sec.create_with ~config ~max_threads:4 () in
+
+  (* Single-threaded use: an ordinary stack. *)
+  Sec.push stack ~tid:0 1;
+  Sec.push stack ~tid:0 2;
+  assert (Sec.peek stack ~tid:0 = Some 2);
+  assert (Sec.pop stack ~tid:0 = Some 2);
+  assert (Sec.pop stack ~tid:0 = Some 1);
+  assert (Sec.pop stack ~tid:0 = None);
+
+  (* Concurrent use: each domain gets its own thread id in
+     [0, max_threads); that is the only contract. *)
+  let ops_per_domain = 50_000 in
+  let worker tid () =
+    for i = 1 to ops_per_domain do
+      if i mod 2 = 0 then Sec.push stack ~tid i
+      else ignore (Sec.pop stack ~tid)
+    done
+  in
+  let domains = List.init 3 (fun i -> Domain.spawn (worker (i + 1))) in
+  worker 0 ();
+  List.iter Domain.join domains;
+
+  Printf.printf "final stack depth: %d\n" (Sec.depth stack);
+  Format.printf "batch statistics:  %a@." Sec_core.Sec_stats.pp (Sec.stats stack)

@@ -1,0 +1,1 @@
+lib/core/sec_pool.ml: Array List Option Sec_prim

@@ -1,0 +1,1 @@
+lib/core/sec_stack.ml: Array Config Sec_prim Sec_stats

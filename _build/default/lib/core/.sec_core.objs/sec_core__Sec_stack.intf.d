@@ -1,0 +1,1 @@
+lib/core/sec_stack.mli: Config Sec_prim Sec_spec Sec_stats

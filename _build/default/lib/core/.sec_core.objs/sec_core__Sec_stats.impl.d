@@ -1,0 +1,1 @@
+lib/core/sec_stats.ml: Format

@@ -1,0 +1,33 @@
+(* Tuning knobs of the SEC stack (paper, Sections 3 and 6). *)
+
+type t = {
+  num_aggregators : int;
+      (** K: threads are assigned to aggregators by [tid mod K]. The paper
+          finds two aggregators best on most workloads (Figure 4). *)
+  freeze_backoff : int;
+      (** Budget, in relax units, for the freezer's adaptive wait before
+          freezing its batch: it keeps polling while announcements still
+          arrive, up to this total. A longer wait lets more operations
+          join the batch, raising the elimination and combining degrees
+          (paper, Section 3.1). [0] freezes immediately (the ablation
+          benchmark uses this). *)
+  collect_stats : bool;
+      (** Record per-batch statistics (batching degree, %eliminated,
+          %combined — Tables 1–3). Costs a few striped-counter updates per
+          *batch* (not per operation). *)
+}
+
+let default = { num_aggregators = 2; freeze_backoff = 1024; collect_stats = false }
+
+let validate t =
+  if t.num_aggregators < 1 then
+    invalid_arg "Sec_core.Config: num_aggregators must be at least 1";
+  if t.freeze_backoff < 0 then
+    invalid_arg "Sec_core.Config: freeze_backoff must be non-negative"
+
+let with_aggregators k t = { t with num_aggregators = k }
+let with_stats t = { t with collect_stats = true }
+
+let pp ppf t =
+  Format.fprintf ppf "{aggregators=%d; freeze_backoff=%d; stats=%b}"
+    t.num_aggregators t.freeze_backoff t.collect_stats

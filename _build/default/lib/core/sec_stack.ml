@@ -1,0 +1,323 @@
+(* SEC — Sharded Elimination and Combining stack (the paper's Algorithms 1
+   and 2, Figure 1).
+
+   Threads are sharded over K aggregators by thread id. Each aggregator
+   points to its currently active *batch*. A thread announces an operation
+   by fetch&increment on the batch's push or pop counter; the returned
+   sequence number names an elimination-array slot (pushes deposit their
+   node there immediately). The first announcer of either type wins a
+   test&set and becomes the batch's *freezer*: after a short backoff (to
+   let the batch grow) it snapshots both counters into
+   [push_at_freeze]/[pop_at_freeze] and installs a fresh batch in the
+   aggregator, which releases every announcer:
+
+   - announcers whose sequence number is not below the freeze snapshot do
+     not belong to the batch and retry in a later batch;
+   - the first min(pushes, pops) operations of each type eliminate
+     pairwise through the elimination array;
+   - the survivors are all of one type; the one with the lowest surviving
+     sequence number becomes the *combiner* and applies them all to the
+     shared Treiber-style stack with a single CAS (appending a pre-linked
+     substack, or unlinking a chain of nodes), then raises
+     [batch_applied]; waiting pops find their results by indexing into the
+     detached substack ([get_value]).
+
+   Linearization (paper, Section 5): eliminated pairs linearize together
+   at the exchange; non-eliminated operations linearize at their
+   combiner's successful CAS, ordered by sequence number. *)
+
+module Make (P : Sec_prim.Prim_intf.S) = struct
+  module A = P.Atomic
+  module Backoff = Sec_prim.Backoff.Make (P)
+  module Counter = Sec_prim.Striped_counter.Make (P)
+
+  type 'a node = { value : 'a; mutable next : 'a node option }
+
+  type 'a batch = {
+    push_count : int A.t;
+    pop_count : int A.t;
+    push_at_freeze : int A.t;
+    pop_at_freeze : int A.t;
+    elimination : 'a node option A.t array;
+    freezer_decided : bool A.t;
+    batch_applied : bool A.t;
+    substack : 'a node option A.t;
+        (* chain detached by a pop-side combiner, read by [get_value] *)
+  }
+
+  type 'a aggregator = { batch : 'a batch A.t }
+
+  type stats_counters = {
+    batches : Counter.t;
+    operations : Counter.t;
+    eliminated : Counter.t;
+    combined : Counter.t;
+    excluded : Counter.t;
+  }
+
+  type 'a t = {
+    top : 'a node option A.t; (* the shared stack (Figure 1, stackTop) *)
+    aggregators : 'a aggregator array;
+    capacity : int; (* elimination-array size = max_threads *)
+    config : Config.t;
+    stats : stats_counters option;
+  }
+
+  let name = "SEC"
+
+  let make_batch capacity =
+    {
+      push_count = A.make_padded 0;
+      pop_count = A.make_padded 0;
+      push_at_freeze = A.make_padded (-1);
+      pop_at_freeze = A.make_padded (-1);
+      elimination = Array.init capacity (fun _ -> A.make None);
+      freezer_decided = A.make_padded false;
+      batch_applied = A.make_padded false;
+      substack = A.make None;
+    }
+
+  let create_with ~config ?(max_threads = 64) () =
+    Config.validate config;
+    {
+      top = A.make_padded None;
+      aggregators =
+        Array.init config.Config.num_aggregators (fun _ ->
+            { batch = A.make_padded (make_batch max_threads) });
+      capacity = max_threads;
+      config;
+      stats =
+        (if config.Config.collect_stats then
+           Some
+             {
+               batches = Counter.create ();
+               operations = Counter.create ();
+               eliminated = Counter.create ();
+               combined = Counter.create ();
+               excluded = Counter.create ();
+             }
+         else None);
+    }
+
+  let create ?max_threads () = create_with ~config:Config.default ?max_threads ()
+
+  let aggregator_of t tid =
+    t.aggregators.(tid mod Array.length t.aggregators)
+
+  (* ------------------------------------------------------------------ *)
+  (* Freezing (paper: FreezeBatch, lines 28–32)                          *)
+
+  let record_batch_stats t ~tid ~pushes ~pops =
+    match t.stats with
+    | None -> ()
+    | Some s ->
+        let eliminated = 2 * min pushes pops in
+        Counter.incr s.batches ~tid;
+        Counter.add s.operations ~tid (pushes + pops);
+        Counter.add s.eliminated ~tid eliminated;
+        Counter.add s.combined ~tid (pushes + pops - eliminated)
+
+  (* The freezer lingers so more operations join the batch, raising the
+     elimination/combining degree (paper, Section 3.1). The wait is
+     adaptive: poll the announcement counters and keep waiting while the
+     batch is still growing, up to [freeze_backoff] relax units in total —
+     so a lone thread freezes almost immediately while a busy aggregator
+     gathers a full batch. *)
+  let freezer_backoff t batch =
+    let budget = t.config.Config.freeze_backoff in
+    if budget > 0 then begin
+      (* Short initial probe: a lone thread freezes almost immediately.
+         If anything else announced during it, keep extending in windows
+         long enough to cover a contended cross-socket announce — or a
+         thread whose fetch&increment queues behind a few others misses
+         every batch's window and starves. *)
+      let initial = max 512 (budget / 32) in
+      let extension = max 1024 (budget / 8) in
+      let announced () = A.get batch.push_count + A.get batch.pop_count in
+      P.relax initial;
+      let after_initial = announced () in
+      if after_initial > 1 then begin
+        (* Others are arriving: let the batch grow. *)
+        let rec wait spent seen =
+          if spent < budget then begin
+            P.relax extension;
+            let now = announced () in
+            if now > seen then wait (spent + extension) now
+          end
+        in
+        wait initial after_initial
+      end
+    end
+
+  let freeze_batch t ~tid aggregator batch =
+    freezer_backoff t batch;
+    let pops = A.get batch.pop_count in
+    let pushes = A.get batch.push_count in
+    A.set batch.pop_at_freeze pops;
+    A.set batch.push_at_freeze pushes;
+    record_batch_stats t ~tid ~pushes ~pops;
+    (* Installing the new batch is what releases the waiting announcers. *)
+    A.set aggregator.batch (make_batch t.capacity)
+
+  (* Announce via FAA, then either freeze (if we won the seq-0 test&set
+     race) or wait until the freezer retires the batch. Returns true when
+     the caller's operation belongs to [batch]. *)
+  let announce_and_freeze t ~tid aggregator batch ~seq ~counter_at_freeze =
+    if seq = 0 && not (A.exchange batch.freezer_decided true) then
+      freeze_batch t ~tid aggregator batch
+    else Backoff.spin_while (fun () -> A.get aggregator.batch == batch);
+    let included = seq < A.get counter_at_freeze in
+    (if not included then
+       match t.stats with
+       | Some s -> Counter.incr s.excluded ~tid
+       | None -> ());
+    included
+
+  (* ------------------------------------------------------------------ *)
+  (* Combining for pushes (paper: PushToStack, lines 33–51)              *)
+
+  let node_of batch i =
+    (* The announcer with sequence number [i] deposits its node right
+       after its FAA; the combiner may momentarily have to wait for it. *)
+    Backoff.spin_until (fun () ->
+        match A.get batch.elimination.(i) with Some _ -> true | None -> false);
+    match A.get batch.elimination.(i) with
+    | Some n -> n
+    | None -> assert false
+
+  let push_to_stack t batch ~seq =
+    let push_frozen = A.get batch.push_at_freeze in
+    (* Link the surviving pushes [seq .. push_frozen) into a substack:
+       higher sequence numbers end up nearer the top. *)
+    let bottom = node_of batch seq in
+    let top_of_substack = ref bottom in
+    for i = seq + 1 to push_frozen - 1 do
+      let n = node_of batch i in
+      n.next <- Some !top_of_substack;
+      top_of_substack := n
+    done;
+    (* Combiners retry immediately: there are at most K of them, an entire
+       batch of waiters stalls while one dawdles, and backing off after a
+       failed CAS just surrenders the loser's place behind a stream of
+       fresh combiners. *)
+    let rec attempt () =
+      let current_top = A.get t.top in
+      bottom.next <- current_top;
+      if not (A.compare_and_set t.top current_top (Some !top_of_substack))
+      then attempt ()
+    in
+    attempt ()
+
+  (* ------------------------------------------------------------------ *)
+  (* Combining for pops (paper: PopFromStack + GetValue, lines 80–103)   *)
+
+  let pop_from_stack t batch ~seq =
+    let pop_frozen = A.get batch.pop_at_freeze in
+    let to_remove = pop_frozen - seq in
+    let rec attempt () =
+      let current_top = A.get t.top in
+      (* Walk down min(to_remove, depth) nodes; the remainder of the batch
+         will observe an empty stack. *)
+      let rec walk node k =
+        if k = 0 then node
+        else match node with None -> None | Some n -> walk n.next (k - 1)
+      in
+      let new_top = walk current_top to_remove in
+      if A.compare_and_set t.top current_top new_top then
+        A.set batch.substack current_top
+      else attempt ()
+    in
+    attempt ()
+
+  let get_value batch ~offset =
+    let rec walk node k =
+      match node with
+      | None -> None
+      | Some n -> if k = 0 then Some n.value else walk n.next (k - 1)
+    in
+    walk (A.get batch.substack) offset
+
+  (* ------------------------------------------------------------------ *)
+  (* Public operations (paper: Algorithms 1 and 2)                       *)
+
+  let push t ~tid value =
+    let aggregator = aggregator_of t tid in
+    let node = { value; next = None } in
+    let rec try_batch () =
+      let batch = A.get aggregator.batch in
+      let seq = A.fetch_and_add batch.push_count 1 in
+      assert (seq < t.capacity);
+      A.set batch.elimination.(seq) (Some node);
+      if
+        announce_and_freeze t ~tid aggregator batch ~seq
+          ~counter_at_freeze:batch.push_at_freeze
+      then begin
+        let pop_frozen = A.get batch.pop_at_freeze in
+        if seq >= pop_frozen then
+          (* Not eliminated; the smallest surviving push combines. *)
+          if seq = pop_frozen then begin
+            push_to_stack t batch ~seq;
+            A.set batch.batch_applied true
+          end
+          else Backoff.spin_until (fun () -> A.get batch.batch_applied)
+        (* else: a pop with our sequence number consumed our node. *)
+      end
+      else try_batch ()
+    in
+    try_batch ()
+
+  let pop t ~tid =
+    let aggregator = aggregator_of t tid in
+    let rec try_batch () =
+      let batch = A.get aggregator.batch in
+      let seq = A.fetch_and_add batch.pop_count 1 in
+      if
+        announce_and_freeze t ~tid aggregator batch ~seq
+          ~counter_at_freeze:batch.pop_at_freeze
+      then begin
+        let push_frozen = A.get batch.push_at_freeze in
+        if seq < push_frozen then
+          (* Eliminated: take the value deposited by the push that shares
+             our sequence number. *)
+          Some (node_of batch seq).value
+        else begin
+          if seq = push_frozen then begin
+            pop_from_stack t batch ~seq;
+            A.set batch.batch_applied true
+          end
+          else Backoff.spin_until (fun () -> A.get batch.batch_applied);
+          get_value batch ~offset:(seq - push_frozen)
+        end
+      end
+      else try_batch ()
+    in
+    try_batch ()
+
+  let peek t ~tid:_ =
+    match A.get t.top with None -> None | Some n -> Some n.value
+
+  (* ------------------------------------------------------------------ *)
+  (* Introspection                                                       *)
+
+  let stats t =
+    match t.stats with
+    | None -> Sec_stats.empty
+    | Some s ->
+        {
+          Sec_stats.batches = Counter.get s.batches;
+          operations = Counter.get s.operations;
+          eliminated = Counter.get s.eliminated;
+          combined = Counter.get s.combined;
+          excluded = Counter.get s.excluded;
+        }
+
+  let config t = t.config
+
+  (* Current depth of the shared stack; O(n), single snapshot of [top],
+     for tests and examples only. *)
+  let depth t =
+    let rec count node acc =
+      match node with None -> acc | Some n -> count n.next (acc + 1)
+    in
+    count (A.get t.top) 0
+end

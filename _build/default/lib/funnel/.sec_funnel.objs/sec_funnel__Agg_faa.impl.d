@@ -1,0 +1,1 @@
+lib/funnel/agg_faa.ml: Array Sec_prim

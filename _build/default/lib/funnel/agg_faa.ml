@@ -1,0 +1,78 @@
+(* Sharded software fetch&add in the spirit of aggregating funnels [Roh,
+   Wei, Ruppert, Fatourou, Jayanti & Shun, PPoPP 2025] — the technique
+   whose nested partitioning SEC borrows (paper, Section 2).
+
+   Threads are sharded over [shards]; within a shard they aggregate their
+   addends into a batch using the same freeze idiom as SEC: fetch&increment
+   yields each thread a prefix sum; the thread whose prefix is 0 becomes
+   the batch leader, lingers briefly, closes the batch by installing a
+   fresh one, snapshots the batch total, performs ONE fetch&add of the
+   whole total on the central counter, and publishes the base. Every
+   included thread returns [base + prefix]; threads that arrived after the
+   snapshot retry in a later batch. The central counter is therefore hit
+   once per batch instead of once per operation. *)
+
+module Make (P : Sec_prim.Prim_intf.S) = struct
+  module A = P.Atomic
+  module Backoff = Sec_prim.Backoff.Make (P)
+
+  type batch = {
+    sum : int A.t; (* running prefix sum of announced addends *)
+    total : int A.t; (* sum at close; -1 while open *)
+    base : int A.t; (* central counter value for this batch; -1 until set *)
+  }
+
+  type shard = { batch : batch A.t }
+
+  type t = {
+    central : int A.t;
+    shards : shard array;
+    close_backoff : int;
+    batches : int A.t; (* number of closed batches, for the ablation *)
+  }
+
+  let make_batch () =
+    { sum = A.make_padded 0; total = A.make_padded (-1); base = A.make_padded (-1) }
+
+  let create ?(shards = 2) ?(close_backoff = 64) ?(init = 0) () =
+    if shards < 1 then invalid_arg "Agg_faa.create: shards must be positive";
+    {
+      central = A.make_padded init;
+      shards = Array.init shards (fun _ -> { batch = A.make_padded (make_batch ()) });
+      close_backoff;
+      batches = A.make_padded 0;
+    }
+
+  let fetch_and_add t ~tid n =
+    if n <= 0 then invalid_arg "Agg_faa.fetch_and_add: addend must be positive";
+    let shard = t.shards.(tid mod Array.length t.shards) in
+    let rec try_batch () =
+      let batch = A.get shard.batch in
+      let prefix = A.fetch_and_add batch.sum n in
+      if prefix = 0 then begin
+        (* Leader: let the batch fill, close it, hit the central counter
+           once on everyone's behalf. *)
+        if t.close_backoff > 0 then P.relax t.close_backoff;
+        A.set shard.batch (make_batch ());
+        let total = A.get batch.sum in
+        let base = A.fetch_and_add t.central total in
+        A.set batch.total total;
+        A.set batch.base base;
+        A.incr t.batches;
+        base
+      end
+      else begin
+        Backoff.spin_while (fun () -> A.get batch.base < 0);
+        (* Included iff our whole range fits under the closing snapshot. *)
+        if prefix + n <= A.get batch.total then A.get batch.base + prefix
+        else try_batch ()
+      end
+    in
+    try_batch ()
+
+  (** Current value of the central counter (linearizes with leaders'
+      central FAAs, not with individual announcements). *)
+  let get t = A.get t.central
+
+  let batches_closed t = A.get t.batches
+end

@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Int64 Latency List Measurement Native_runner Option Printf Registry Report Sec_core Sec_funnel Sec_sim Sim_runner String Variance Workload

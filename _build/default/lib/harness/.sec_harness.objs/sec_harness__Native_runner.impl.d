@@ -1,0 +1,1 @@
+lib/harness/native_runner.ml: Array Atomic Domain Int64 List Measurement Registry Sec_prim Unix Workload

@@ -1,0 +1,1 @@
+lib/harness/native_runner.mli: Measurement Registry Workload

@@ -1,0 +1,1 @@
+lib/harness/registry.ml: List Printf Sec_core Sec_prim Sec_spec Sec_stacks

@@ -1,0 +1,1 @@
+lib/harness/report.ml: Array Filename List Printf String Sys Unix

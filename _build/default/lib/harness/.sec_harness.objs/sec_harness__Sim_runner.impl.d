@@ -1,0 +1,1 @@
+lib/harness/sim_runner.ml: Array Int64 Latency Measurement Registry Sec_core Sec_sim Workload

@@ -1,0 +1,1 @@
+lib/harness/variance.ml: Format List Measurement Registry Sim_runner

@@ -1,0 +1,1 @@
+lib/harness/variance.mli: Format Registry Sec_sim Workload

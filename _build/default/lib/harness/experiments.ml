@@ -1,0 +1,528 @@
+(* The experiment registry: one entry per figure and table of the paper's
+   evaluation (see DESIGN.md for the index). Each experiment prints its
+   series tables and optionally dumps CSVs.
+
+   Paper-scale thread counts run on the simulator (this host has a single
+   core); pass [native = true] to append small native-domain sweeps as a
+   sanity check. *)
+
+type opts = {
+  scale : float; (* duration multiplier; 1.0 ~ a few seconds per figure *)
+  csv_dir : string option;
+  native : bool;
+  seed : int;
+}
+
+let default_opts = { scale = 1.0; csv_dir = None; native = false; seed = 1 }
+
+type t = { id : string; title : string; run : opts -> unit }
+
+(* ------------------------------------------------------------------ *)
+(* Sweep helpers                                                        *)
+
+let base_cycles = 300_000
+let duration_cycles opts = max 10_000 (int_of_float (float_of_int base_cycles *. opts.scale))
+let native_duration opts = 0.25 *. opts.scale
+
+let threads_for (topo : Sec_sim.Topology.t) =
+  match topo.Sec_sim.Topology.name with
+  | "emerald" -> [ 1; 2; 4; 8; 16; 28; 40; 56 ]
+  | "icelake" -> [ 1; 2; 4; 8; 16; 32; 48; 64; 96 ]
+  | "sapphire" -> [ 1; 2; 4; 8; 16; 32; 64; 96; 128; 192 ]
+  | _ -> [ 1; 2; 4; 8 ]
+
+(* Pop-only sweeps measure sustained pop pressure, so the prefill must
+   outlast the window for every algorithm; otherwise the fast ones drain
+   the stack and the figure degenerates into empty-pop throughput. *)
+let prefill_for mix =
+  if mix.Workload.pop_pct = 100 then 50_000 else Sim_runner.default_prefill
+
+let sim_sweep opts ~topology ~mix ~entries ~tag ~title =
+  let threads = threads_for topology in
+  let prefill = prefill_for mix in
+  let rows =
+    List.map
+      (fun (e : Registry.entry) ->
+        let values =
+          List.map
+            (fun n ->
+              (Sim_runner.run e.Registry.maker ~topology ~threads:n
+                 ~duration_cycles:(duration_cycles opts) ~mix ~prefill
+                 ~seed:opts.seed ())
+                .Measurement.mops)
+            threads
+        in
+        (e.Registry.name, Array.of_list values))
+      entries
+  in
+  Report.series
+    ~title:(Printf.sprintf "%s [%s, simulated %s]" title mix.Workload.label
+              topology.Sec_sim.Topology.name)
+    ~columns:threads ~rows;
+  Option.iter
+    (fun dir ->
+      Report.csv_of_series ~dir
+        ~file:(Printf.sprintf "%s_%s.csv" tag mix.Workload.label)
+        ~columns:threads ~rows)
+    opts.csv_dir
+
+let native_sweep opts ~mix ~entries ~tag ~title =
+  let threads = [ 1; 2; 4 ] in
+  (* Native cores pop millions of times per second; size the pop-only
+     prefill to keep the stack non-empty for the whole wall-clock window. *)
+  let prefill =
+    if mix.Workload.pop_pct = 100 then 2_000_000 else Native_runner.default_prefill
+  in
+  let rows =
+    List.map
+      (fun (e : Registry.entry) ->
+        let values =
+          List.map
+            (fun n ->
+              (Native_runner.run e.Registry.maker ~threads:n
+                 ~duration:(native_duration opts) ~mix ~prefill ~seed:opts.seed ())
+                .Measurement.mops)
+            threads
+        in
+        (e.Registry.name, Array.of_list values))
+      entries
+  in
+  Report.series
+    ~title:(Printf.sprintf "%s [%s, native domains]" title mix.Workload.label)
+    ~columns:threads ~rows;
+  Option.iter
+    (fun dir ->
+      Report.csv_of_series ~dir
+        ~file:(Printf.sprintf "%s_%s_native.csv" tag mix.Workload.label)
+        ~columns:threads ~rows)
+    opts.csv_dir
+
+(* Throughput figures: update mixes (Figures 2/5/9). *)
+let throughput_figure ~id ~topology ~paper_ref =
+  {
+    id;
+    title = Printf.sprintf "%s: throughput, 100%%/50%%/10%% updates on %s"
+              paper_ref topology.Sec_sim.Topology.name;
+    run =
+      (fun opts ->
+        List.iter
+          (fun mix ->
+            sim_sweep opts ~topology ~mix ~entries:Registry.paper_set ~tag:id
+              ~title:paper_ref;
+            if opts.native then
+              native_sweep opts ~mix ~entries:Registry.paper_set ~tag:id
+                ~title:paper_ref)
+          [ Workload.update_heavy; Workload.mixed; Workload.read_heavy ]);
+  }
+
+(* Push-only / pop-only figures (Figures 3/6/10). *)
+let homogeneous_figure ~id ~topology ~paper_ref =
+  {
+    id;
+    title = Printf.sprintf "%s: push-only and pop-only on %s" paper_ref
+              topology.Sec_sim.Topology.name;
+    run =
+      (fun opts ->
+        List.iter
+          (fun mix ->
+            sim_sweep opts ~topology ~mix ~entries:Registry.paper_set ~tag:id
+              ~title:paper_ref;
+            if opts.native then
+              native_sweep opts ~mix ~entries:Registry.paper_set ~tag:id
+                ~title:paper_ref)
+          [ Workload.push_only; Workload.pop_only ]);
+  }
+
+(* Aggregator self-comparison (Figures 4/7/8/11/12). *)
+let aggregator_figure ~id ~topology ~paper_ref ~mixes =
+  {
+    id;
+    title = Printf.sprintf "%s: SEC with 1..5 aggregators on %s" paper_ref
+              topology.Sec_sim.Topology.name;
+    run =
+      (fun opts ->
+        List.iter
+          (fun mix ->
+            sim_sweep opts ~topology ~mix ~entries:Registry.sec_aggregator_sweep
+              ~tag:id ~title:paper_ref)
+          mixes);
+  }
+
+(* Batching/elimination/combining degrees (Tables 1/2/3). The paper
+   reports averages across thread counts. *)
+let degrees_table ~id ~topology ~paper_ref =
+  {
+    id;
+    title = Printf.sprintf "%s: SEC batching/elimination/combining on %s"
+              paper_ref topology.Sec_sim.Topology.name;
+    run =
+      (fun opts ->
+        let thread_points =
+          List.filter (fun n -> n >= 8) (threads_for topology)
+        in
+        let mixes = [ Workload.update_heavy; Workload.mixed; Workload.read_heavy ] in
+        let per_mix =
+          List.map
+            (fun mix ->
+              let snapshots =
+                List.map
+                  (fun n ->
+                    Sim_runner.run_sec_stats ~config:Sec_core.Config.default
+                      ~topology ~threads:n
+                      ~duration_cycles:(duration_cycles opts) ~mix
+                      ~seed:opts.seed ())
+                  thread_points
+              in
+              let avg f =
+                List.fold_left (fun acc s -> acc +. f s) 0. snapshots
+                /. float_of_int (List.length snapshots)
+              in
+              ( avg Sec_core.Sec_stats.batching_degree,
+                avg Sec_core.Sec_stats.pct_eliminated,
+                avg Sec_core.Sec_stats.pct_combined ))
+            mixes
+        in
+        let columns = List.map (fun m -> m.Workload.label) mixes in
+        let row f = List.map (fun v -> Printf.sprintf "%.1f" (f v)) per_mix in
+        let rows =
+          [
+            ("Batching Degree", row (fun (d, _, _) -> d));
+            ("%Elimination", row (fun (_, e, _) -> e));
+            ("%Combining", row (fun (_, _, c) -> c));
+          ]
+        in
+        Report.keyed
+          ~title:(Printf.sprintf "%s [simulated %s, averaged over %s threads]"
+                    paper_ref topology.Sec_sim.Topology.name
+                    (String.concat "," (List.map string_of_int thread_points)))
+          ~columns ~rows;
+        Option.iter
+          (fun dir ->
+            Report.csv ~dir ~file:(id ^ ".csv")
+              ~header:("metric" :: columns)
+              ~rows:(List.map (fun (name, vs) -> name :: vs) rows))
+          opts.csv_dir);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (design choices called out in DESIGN.md)                   *)
+
+let ablation_backoff =
+  {
+    id = "ablation-backoff";
+    title =
+      "Ablation: SEC freezer wait budget (0 / 512 / 1024 / 2048 / 8192 relax \
+       units)";
+    run =
+      (fun opts ->
+        let entries =
+          List.map
+            (fun b ->
+              Registry.sec_with ~freeze_backoff:b ~aggregators:2
+                ~label:(Printf.sprintf "SEC_bo%d" b) ())
+            [ 0; 512; 1024; 2048; 8192 ]
+        in
+        List.iter
+          (fun mix ->
+            sim_sweep opts ~topology:Sec_sim.Topology.emerald ~mix ~entries
+              ~tag:"ablation_backoff" ~title:"Freezer backoff ablation")
+          [ Workload.update_heavy; Workload.push_only ]);
+  }
+
+let ablation_funnel =
+  let module SP = Sec_sim.Sim.Prim in
+  let faa_throughput opts ~threads ~variant =
+    let duration = duration_cycles opts in
+    let ops, _ =
+      Sec_sim.Sim.run ~seed:opts.seed ~topology:Sec_sim.Topology.emerald
+        (fun () ->
+          let module Faa = Sec_funnel.Agg_faa.Make (SP) in
+          let shards = match variant with `Funnel s -> s | `Central -> 1 in
+          let funnel = Faa.create ~shards () in
+          let central = SP.Atomic.make 0 in
+          let counts = Array.make threads 0 in
+          let deadline = Int64.add (SP.now_ns ()) (Int64.of_int duration) in
+          for _ = 1 to threads do
+            Sec_sim.Sim.spawn (fun () ->
+                let tid = Sec_sim.Sim.fiber_id () in
+                let ops = ref 0 in
+                while Int64.compare (SP.now_ns ()) deadline < 0 do
+                  (match variant with
+                  | `Central -> ignore (SP.Atomic.fetch_and_add central 1)
+                  | `Funnel _ -> ignore (Faa.fetch_and_add funnel ~tid 1));
+                  incr ops
+                done;
+                counts.(tid) <- !ops)
+          done;
+          Sec_sim.Sim.await_all ();
+          Array.fold_left ( + ) 0 counts)
+    in
+    (Measurement.of_simulated ~algorithm:"faa" ~threads ~ops ~cycles:duration)
+      .Measurement.mops
+  in
+  {
+    id = "ablation-funnel";
+    title = "Ablation: sharded (aggregating-funnel style) vs central fetch&add";
+    run =
+      (fun opts ->
+        let threads = threads_for Sec_sim.Topology.emerald in
+        let variants =
+          [
+            ("central FAA", `Central);
+            ("funnel x2", `Funnel 2);
+            ("funnel x4", `Funnel 4);
+          ]
+        in
+        let rows =
+          List.map
+            (fun (name, v) ->
+              ( name,
+                Array.of_list
+                  (List.map
+                     (fun n -> faa_throughput opts ~threads:n ~variant:v)
+                     threads) ))
+            variants
+        in
+        Report.series
+          ~title:"Fetch&add throughput (Mops/s) [simulated emerald]"
+          ~columns:threads ~rows;
+        Option.iter
+          (fun dir ->
+            Report.csv_of_series ~dir ~file:"ablation_funnel.csv"
+              ~columns:threads ~rows)
+          opts.csv_dir);
+  }
+
+let ablation_hsynch =
+  {
+    id = "ablation-hsynch";
+    title =
+      "Ablation: SEC vs hierarchical combining (H-Synch) vs flat CC-Synch";
+    run =
+      (fun opts ->
+        let entries = [ Registry.sec; Registry.hsynch; Registry.cc ] in
+        List.iter
+          (fun mix ->
+            sim_sweep opts ~topology:Sec_sim.Topology.sapphire ~mix ~entries
+              ~tag:"ablation_hsynch" ~title:"NUMA-aware combining ablation")
+          [ Workload.update_heavy ]);
+  }
+
+let extension_pool =
+  let module SP = Sec_sim.Sim.Prim in
+  let module Pool = Sec_core.Sec_pool.Make (SP) in
+  (* The pool is push/pop only, so it gets a dedicated runner; SEC and TRB
+     run the same 50/50 workload through the standard one. *)
+  let pool_throughput opts ~threads ~aggregators =
+    let duration = duration_cycles opts in
+    let ops, _ =
+      Sec_sim.Sim.run ~seed:opts.seed ~topology:Sec_sim.Topology.emerald
+        (fun () ->
+          let pool = Pool.create ~aggregators ~max_threads:threads () in
+          for i = 1 to Sim_runner.default_prefill do
+            Pool.push pool ~tid:0 i
+          done;
+          let counts = Array.make threads 0 in
+          let deadline = Int64.add (SP.now_ns ()) (Int64.of_int duration) in
+          for _ = 1 to threads do
+            Sec_sim.Sim.spawn (fun () ->
+                let tid = Sec_sim.Sim.fiber_id () in
+                let ops = ref 0 in
+                while Int64.compare (SP.now_ns ()) deadline < 0 do
+                  SP.relax Sim_runner.loop_overhead;
+                  if SP.rand_int 2 = 0 then Pool.push pool ~tid (SP.rand_int 100)
+                  else ignore (Pool.pop pool ~tid);
+                  incr ops
+                done;
+                counts.(tid) <- !ops)
+          done;
+          Sec_sim.Sim.await_all ();
+          Array.fold_left ( + ) 0 counts)
+    in
+    (Measurement.of_simulated ~algorithm:"pool" ~threads ~ops ~cycles:duration)
+      .Measurement.mops
+  in
+  {
+    id = "extension-pool";
+    title =
+      "Extension: SEC-style pool (sharded backing stores) vs SEC stack vs TRB";
+    run =
+      (fun opts ->
+        let threads = threads_for Sec_sim.Topology.emerald in
+        let stack_row (e : Registry.entry) =
+          ( e.Registry.name,
+            Array.of_list
+              (List.map
+                 (fun n ->
+                   (Sim_runner.run e.Registry.maker
+                      ~topology:Sec_sim.Topology.emerald ~threads:n
+                      ~duration_cycles:(duration_cycles opts)
+                      ~mix:Workload.update_heavy ~seed:opts.seed ())
+                     .Measurement.mops)
+                 threads) )
+        in
+        let pool_row label aggregators =
+          ( label,
+            Array.of_list
+              (List.map
+                 (fun n -> pool_throughput opts ~threads:n ~aggregators)
+                 threads) )
+        in
+        let rows =
+          [
+            pool_row "SEC-pool x2" 2;
+            pool_row "SEC-pool x4" 4;
+            stack_row Registry.sec;
+            stack_row Registry.treiber;
+          ]
+        in
+        Report.series
+          ~title:"Pool extension, 100% updates (Mops/s) [simulated emerald]"
+          ~columns:threads ~rows;
+        Option.iter
+          (fun dir ->
+            Report.csv_of_series ~dir ~file:"extension_pool.csv"
+              ~columns:threads ~rows)
+          opts.csv_dir);
+  }
+
+let variance_check =
+  {
+    id = "variance";
+    title =
+      "Supporting: seed-to-seed spread at 28 threads (paper: <5% over 5 runs)";
+    run =
+      (fun opts ->
+        let seeds = List.init 5 (fun i -> opts.seed + i) in
+        let rows =
+          List.map
+            (fun (e : Registry.entry) ->
+              let v =
+                Variance.of_sim_runs e ~topology:Sec_sim.Topology.emerald
+                  ~threads:28 ~duration_cycles:(duration_cycles opts)
+                  ~mix:Workload.update_heavy ~seeds
+              in
+              ( e.Registry.name,
+                [
+                  Printf.sprintf "%.2f" v.Variance.mean;
+                  Printf.sprintf "%.2f" v.Variance.min;
+                  Printf.sprintf "%.2f" v.Variance.max;
+                  Printf.sprintf "%.1f%%" v.Variance.relative_spread;
+                ] ))
+            Registry.paper_set
+        in
+        Report.keyed
+          ~title:
+            "Throughput over 5 seeds [100%upd, 28 threads, simulated emerald]"
+          ~columns:[ "mean"; "min"; "max"; "spread" ]
+          ~rows;
+        Option.iter
+          (fun dir ->
+            Report.csv ~dir ~file:"variance.csv"
+              ~header:[ "algorithm"; "mean"; "min"; "max"; "spread" ]
+              ~rows:(List.map (fun (n, vs) -> n :: vs) rows))
+          opts.csv_dir);
+  }
+
+let latency_distribution =
+  {
+    id = "latency-dist";
+    title =
+      "Supporting: per-operation latency distribution at 28 threads (emerald)";
+    run =
+      (fun opts ->
+        let threads = 28 in
+        let rows =
+          List.map
+            (fun (e : Registry.entry) ->
+              let h =
+                Sim_runner.run_latency_profile e.Registry.maker
+                  ~topology:Sec_sim.Topology.emerald ~threads
+                  ~duration_cycles:(duration_cycles opts)
+                  ~mix:Workload.update_heavy ~seed:opts.seed ()
+              in
+              ( e.Registry.name,
+                [
+                  Printf.sprintf "%.0f" (Latency.mean h);
+                  string_of_int (Latency.percentile h 50.);
+                  string_of_int (Latency.percentile h 90.);
+                  string_of_int (Latency.percentile h 99.);
+                  string_of_int (Latency.percentile h 99.9);
+                ] ))
+            Registry.paper_set
+        in
+        Report.keyed
+          ~title:
+            (Printf.sprintf
+               "Per-op latency in cycles [100%%upd, %d threads, simulated \
+                emerald]"
+               threads)
+          ~columns:[ "mean"; "p50"; "p90"; "p99"; "p99.9" ]
+          ~rows;
+        Option.iter
+          (fun dir ->
+            Report.csv ~dir ~file:"latency_dist.csv"
+              ~header:[ "algorithm"; "mean"; "p50"; "p90"; "p99"; "p99.9" ]
+              ~rows:(List.map (fun (n, vs) -> n :: vs) rows))
+          opts.csv_dir);
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                             *)
+
+let all =
+  [
+    throughput_figure ~id:"fig2" ~topology:Sec_sim.Topology.emerald
+      ~paper_ref:"Figure 2";
+    homogeneous_figure ~id:"fig3" ~topology:Sec_sim.Topology.emerald
+      ~paper_ref:"Figure 3";
+    aggregator_figure ~id:"fig4" ~topology:Sec_sim.Topology.emerald
+      ~paper_ref:"Figure 4"
+      ~mixes:
+        [
+          Workload.update_heavy;
+          Workload.mixed;
+          Workload.read_heavy;
+          Workload.push_only;
+        ];
+    degrees_table ~id:"table1" ~topology:Sec_sim.Topology.emerald
+      ~paper_ref:"Table 1";
+    throughput_figure ~id:"fig5" ~topology:Sec_sim.Topology.icelake
+      ~paper_ref:"Figure 5";
+    homogeneous_figure ~id:"fig6" ~topology:Sec_sim.Topology.icelake
+      ~paper_ref:"Figure 6";
+    aggregator_figure ~id:"fig7" ~topology:Sec_sim.Topology.icelake
+      ~paper_ref:"Figure 7"
+      ~mixes:[ Workload.update_heavy; Workload.mixed; Workload.read_heavy ];
+    aggregator_figure ~id:"fig8" ~topology:Sec_sim.Topology.icelake
+      ~paper_ref:"Figure 8" ~mixes:[ Workload.push_only; Workload.pop_only ];
+    degrees_table ~id:"table2" ~topology:Sec_sim.Topology.icelake
+      ~paper_ref:"Table 2";
+    throughput_figure ~id:"fig9" ~topology:Sec_sim.Topology.sapphire
+      ~paper_ref:"Figure 9";
+    homogeneous_figure ~id:"fig10" ~topology:Sec_sim.Topology.sapphire
+      ~paper_ref:"Figure 10";
+    aggregator_figure ~id:"fig11" ~topology:Sec_sim.Topology.sapphire
+      ~paper_ref:"Figure 11"
+      ~mixes:
+        [
+          Workload.update_heavy;
+          Workload.mixed;
+          Workload.read_heavy;
+          Workload.push_only;
+        ];
+    aggregator_figure ~id:"fig12" ~topology:Sec_sim.Topology.sapphire
+      ~paper_ref:"Figure 12" ~mixes:[ Workload.push_only; Workload.pop_only ];
+    degrees_table ~id:"table3" ~topology:Sec_sim.Topology.sapphire
+      ~paper_ref:"Table 3";
+    ablation_backoff;
+    ablation_funnel;
+    ablation_hsynch;
+    extension_pool;
+    latency_distribution;
+    variance_check;
+  ]
+
+let find id = List.find_opt (fun e -> e.id = id) all
+
+let ids () = List.map (fun e -> e.id) all

@@ -1,0 +1,25 @@
+(** The experiment registry: one entry per figure and table of the paper's
+    evaluation (DESIGN.md holds the index). *)
+
+type opts = {
+  scale : float;  (** duration multiplier (1.0 = default run length) *)
+  csv_dir : string option;  (** write CSV series here if set *)
+  native : bool;  (** append native-domain sanity sweeps *)
+  seed : int;  (** simulation seed; results are deterministic per seed *)
+}
+
+val default_opts : opts
+
+type t = { id : string; title : string; run : opts -> unit }
+
+(** Simulated duration for one data point under [opts]. *)
+val duration_cycles : opts -> int
+
+(** Thread counts swept on a given machine profile. *)
+val threads_for : Sec_sim.Topology.t -> int list
+
+(** All experiments: fig2..fig12, table1..table3, plus the ablations. *)
+val all : t list
+
+val find : string -> t option
+val ids : unit -> string list

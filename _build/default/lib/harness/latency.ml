@@ -1,0 +1,54 @@
+(* Log-scale latency histograms: power-of-two buckets, cheap enough to
+   update on every operation, mergeable across threads. Used by the
+   latency-distribution experiment to compare tail behaviour of the
+   blocking SEC against the lock-free baselines. *)
+
+type t = { buckets : int array; mutable count : int; mutable sum : float }
+
+let bucket_count = 48
+
+let create () = { buckets = Array.make bucket_count 0; count = 0; sum = 0. }
+
+(* Bucket [i] covers (2^(i-1), 2^i]; bucket 0 covers values <= 1. So the
+   index of [v] is the bit length of [v - 1]. *)
+let bucket_of v =
+  if v <= 1 then 0
+  else
+    let rec bits acc n = if n = 0 then acc else bits (acc + 1) (n lsr 1) in
+    min (bucket_count - 1) (bits 0 (v - 1))
+
+let add t v =
+  let i = bucket_of v in
+  t.buckets.(i) <- t.buckets.(i) + 1;
+  t.count <- t.count + 1;
+  t.sum <- t.sum +. float_of_int v
+
+let merge a b =
+  let m = create () in
+  Array.iteri (fun i v -> m.buckets.(i) <- v + b.buckets.(i)) a.buckets;
+  m.count <- a.count + b.count;
+  m.sum <- a.sum +. b.sum;
+  m
+
+let count t = t.count
+let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
+
+(* Upper bound of bucket [i]: 2^i (bucket 0 holds values <= 1). *)
+let bucket_upper i = if i = 0 then 1 else 1 lsl i
+
+(* [percentile t p] is an upper bound on the p-th percentile (the upper
+   edge of the bucket containing it). *)
+let percentile t p =
+  assert (0. <= p && p <= 100.);
+  if t.count = 0 then 0
+  else begin
+    let target = int_of_float (ceil (p /. 100. *. float_of_int t.count)) in
+    let target = max 1 target in
+    let rec walk i seen =
+      if i >= bucket_count then bucket_upper (bucket_count - 1)
+      else
+        let seen = seen + t.buckets.(i) in
+        if seen >= target then bucket_upper i else walk (i + 1) seen
+    in
+    walk 0 0
+  end

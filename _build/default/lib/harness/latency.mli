@@ -1,0 +1,19 @@
+(** Power-of-two-bucket latency histograms: O(1) update, mergeable, with
+    percentile upper bounds. Values are in clock units (ns or cycles). *)
+
+type t
+
+val create : unit -> t
+
+(** Record one latency sample. *)
+val add : t -> int -> unit
+
+(** Combine two histograms (e.g. per-thread into a total). *)
+val merge : t -> t -> t
+
+val count : t -> int
+val mean : t -> float
+
+(** [percentile t p] — upper edge of the bucket holding the p-th
+    percentile, i.e. a tight upper bound (within 2x) on it. *)
+val percentile : t -> float -> int

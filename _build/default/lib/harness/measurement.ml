@@ -1,0 +1,21 @@
+(* A single throughput measurement. *)
+
+type t = {
+  algorithm : string;
+  threads : int;
+  ops : int;
+  elapsed : float; (* seconds (native) or seconds-at-3GHz (simulated) *)
+  mops : float; (* millions of operations per second *)
+}
+
+(* The simulator counts cycles; we report as if the machine ran at 3 GHz
+   (the paper's Sapphire clock) so simulated and native numbers share a
+   scale. Only relative comparisons are meaningful either way. *)
+let assumed_ghz = 3.0
+
+let of_native ~algorithm ~threads ~ops ~elapsed =
+  { algorithm; threads; ops; elapsed; mops = float_of_int ops /. elapsed /. 1e6 }
+
+let of_simulated ~algorithm ~threads ~ops ~cycles =
+  let elapsed = float_of_int cycles /. (assumed_ghz *. 1e9) in
+  { algorithm; threads; ops; elapsed; mops = float_of_int ops /. elapsed /. 1e6 }

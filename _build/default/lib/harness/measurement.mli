@@ -1,0 +1,16 @@
+(** A single throughput measurement (one cell of a figure). *)
+
+type t = {
+  algorithm : string;
+  threads : int;
+  ops : int;
+  elapsed : float;  (** seconds (simulated cycles are scaled at 3 GHz) *)
+  mops : float;  (** millions of operations per second *)
+}
+
+(** Clock frequency used to put simulated cycle counts on the same scale
+    as native seconds. Only relative comparisons are meaningful. *)
+val assumed_ghz : float
+
+val of_native : algorithm:string -> threads:int -> ops:int -> elapsed:float -> t
+val of_simulated : algorithm:string -> threads:int -> ops:int -> cycles:int -> t

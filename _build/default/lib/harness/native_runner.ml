@@ -1,0 +1,46 @@
+(* Timed throughput runs on real domains (the paper's methodology: run for
+   a fixed duration on a prefilled stack, threads drawing operations at
+   random). Thread counts beyond the host's cores oversubscribe — fine for
+   correctness, but this host has very few cores, so paper-scale numbers
+   come from {!Sim_runner}. *)
+
+module P = Sec_prim.Native
+module Barrier = Sec_prim.Barrier.Make (P)
+
+let default_prefill = 1_000
+let default_value_range = 100_000
+
+let run (module Maker : Registry.MAKER) ~threads ~duration ~mix
+    ?(prefill = default_prefill) ?(value_range = default_value_range)
+    ?(seed = 1) () =
+  let module S = Maker (P) in
+  let stack = S.create ~max_threads:(max threads 1) () in
+  for i = 1 to prefill do
+    S.push stack ~tid:0 (i mod value_range)
+  done;
+  let barrier = Barrier.create (threads + 1) in
+  let stop = Atomic.make false in
+  let counts = Array.make threads 0 in
+  let worker tid () =
+    P.seed_rng (Int64.of_int ((seed * 1000) + tid));
+    let rng = Sec_prim.Rng.create (Int64.of_int ((seed * 77) + tid)) in
+    Barrier.wait barrier;
+    let ops = ref 0 in
+    while not (Atomic.get stop) do
+      (match Workload.pick mix (Sec_prim.Rng.int rng 100) with
+      | Workload.Push -> S.push stack ~tid (Sec_prim.Rng.int rng value_range)
+      | Workload.Pop -> ignore (S.pop stack ~tid)
+      | Workload.Peek -> ignore (S.peek stack ~tid));
+      incr ops
+    done;
+    counts.(tid) <- !ops
+  in
+  let domains = List.init threads (fun tid -> Domain.spawn (worker tid)) in
+  Barrier.wait barrier;
+  let t0 = Unix.gettimeofday () in
+  Unix.sleepf duration;
+  let t1 = Unix.gettimeofday () in
+  Atomic.set stop true;
+  List.iter Domain.join domains;
+  let ops = Array.fold_left ( + ) 0 counts in
+  Measurement.of_native ~algorithm:S.name ~threads ~ops ~elapsed:(t1 -. t0)

@@ -1,0 +1,20 @@
+(** Timed throughput runs on real domains, following the paper's
+    methodology (prefilled stack, random operation mix, fixed duration).
+    Limited by this host's core count; paper-scale runs use
+    {!Sim_runner}. *)
+
+val default_prefill : int
+val default_value_range : int
+
+(** [run maker ~threads ~duration ~mix ()] spawns [threads] domains that
+    hammer a fresh stack for [duration] seconds and reports throughput. *)
+val run :
+  (module Registry.MAKER) ->
+  threads:int ->
+  duration:float ->
+  mix:Workload.mix ->
+  ?prefill:int ->
+  ?value_range:int ->
+  ?seed:int ->
+  unit ->
+  Measurement.t

@@ -1,0 +1,67 @@
+(* Named constructors for every tested algorithm, as substrate-polymorphic
+   MAKER functors, so the same entry drives the native runner and the
+   simulator. *)
+
+module type MAKER = Sec_spec.Stack_intf.MAKER
+
+type entry = { name : string; maker : (module MAKER) }
+
+(* SEC under a fixed configuration, with a display label. *)
+module Sec_configured (C : sig
+  val label : string
+  val config : Sec_core.Config.t
+end)
+(P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
+  module M = Sec_core.Sec_stack.Make (P)
+
+  type 'a t = 'a M.t
+
+  let name = C.label
+  let create ?max_threads () = M.create_with ~config:C.config ?max_threads ()
+  let push = M.push
+  let pop = M.pop
+  let peek = M.peek
+end
+
+let sec_with ?(freeze_backoff = Sec_core.Config.default.freeze_backoff)
+    ~aggregators ~label () =
+  let module C = struct
+    let label = label
+
+    let config =
+      {
+        Sec_core.Config.default with
+        Sec_core.Config.num_aggregators = aggregators;
+        freeze_backoff;
+      }
+  end in
+  { name = label; maker = (module Sec_configured (C) : MAKER) }
+
+let sec = sec_with ~aggregators:2 ~label:"SEC" ()
+let treiber = { name = "TRB"; maker = (module Sec_stacks.Treiber.Make : MAKER) }
+let eb = { name = "EB"; maker = (module Sec_stacks.Eb_stack.Make : MAKER) }
+let fc = { name = "FC"; maker = (module Sec_stacks.Fc_stack.Make : MAKER) }
+let cc = { name = "CC"; maker = (module Sec_stacks.Cc_stack.Make : MAKER) }
+let tsi = { name = "TSI"; maker = (module Sec_stacks.Ts_stack.Make : MAKER) }
+let lock = { name = "LCK"; maker = (module Sec_stacks.Lock_stack.Make : MAKER) }
+let hsynch = { name = "HS"; maker = (module Sec_stacks.H_stack.Make : MAKER) }
+
+(* The six algorithms of the paper's comparison (Figure 2). *)
+let paper_set = [ sec; treiber; eb; fc; cc; tsi ]
+
+(* Extensions beyond the paper: spinlock baseline and hierarchical
+   (NUMA-aware) combining. *)
+let all = paper_set @ [ lock; hsynch ]
+
+(* SEC_Agg1 .. SEC_Agg5, the self-comparison of Figure 4. *)
+let sec_aggregator_sweep =
+  List.map
+    (fun k -> sec_with ~aggregators:k ~label:(Printf.sprintf "SEC_Agg%d" k) ())
+    [ 1; 2; 3; 4; 5 ]
+
+let find name =
+  match
+    List.find_opt (fun e -> e.name = name) (all @ sec_aggregator_sweep)
+  with
+  | Some e -> e
+  | None -> invalid_arg ("unknown algorithm: " ^ name)

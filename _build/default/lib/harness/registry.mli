@@ -1,0 +1,36 @@
+(** Named constructors for every benchmarked algorithm, as
+    substrate-polymorphic functors so the same entry drives both the
+    native runner and the simulator. *)
+
+module type MAKER = Sec_spec.Stack_intf.MAKER
+
+type entry = { name : string; maker : (module MAKER) }
+
+(** SEC under an explicit configuration, displayed as [label]. *)
+val sec_with :
+  ?freeze_backoff:int -> aggregators:int -> label:string -> unit -> entry
+
+(** SEC with the paper's default configuration (2 aggregators). *)
+val sec : entry
+
+val treiber : entry
+val eb : entry
+val fc : entry
+val cc : entry
+val tsi : entry
+val lock : entry
+
+(** Hierarchical H-Synch combining (extension, not in the paper). *)
+val hsynch : entry
+
+(** The six algorithms of the paper's comparison (Figure 2). *)
+val paper_set : entry list
+
+(** [paper_set] plus the spinlock baseline. *)
+val all : entry list
+
+(** SEC_Agg1 .. SEC_Agg5 (Figure 4's self-comparison). *)
+val sec_aggregator_sweep : entry list
+
+(** Find by display name; raises [Invalid_argument] for unknown names. *)
+val find : string -> entry

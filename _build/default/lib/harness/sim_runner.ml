@@ -1,0 +1,119 @@
+(* Timed throughput runs inside the discrete-event simulator: the same
+   methodology as {!Native_runner} but in virtual time, at the paper's
+   56/96/192 hardware-thread scales. Deterministic for a fixed seed, so a
+   single run per data point suffices. *)
+
+module SP = Sec_sim.Sim.Prim
+
+let default_prefill = 1_000
+let default_value_range = 100_000
+
+(* Per-operation benchmark-loop overhead (random draw, branch, counter) —
+   keeps trivial operations like peek from looking infinitely cheap. *)
+let loop_overhead = 10
+
+(* Small seeded timing noise for benchmark runs. A perfectly deterministic
+   simulation can sit on pathological lockstep fixed points (e.g. a thread
+   whose announcement misses every batch window in perfect rhythm); real
+   machines never do. The jitter is identical for every algorithm and the
+   run remains reproducible per seed. *)
+let bench_jitter = 2
+
+let run (module Maker : Registry.MAKER) ~topology ~threads ~duration_cycles
+    ~mix ?(prefill = default_prefill) ?(value_range = default_value_range)
+    ?(seed = 1) () =
+  let module S = Maker (SP) in
+  let ops, _stats =
+    Sec_sim.Sim.run ~seed ~jitter:bench_jitter ~topology (fun () ->
+        let stack = S.create ~max_threads:(max threads 1) () in
+        for i = 1 to prefill do
+          S.push stack ~tid:0 (i mod value_range)
+        done;
+        let counts = Array.make threads 0 in
+        let deadline = Int64.add (SP.now_ns ()) (Int64.of_int duration_cycles) in
+        for _ = 1 to threads do
+          Sec_sim.Sim.spawn (fun () ->
+              let tid = Sec_sim.Sim.fiber_id () in
+              let ops = ref 0 in
+              while Int64.compare (SP.now_ns ()) deadline < 0 do
+                SP.relax loop_overhead;
+                (match Workload.pick mix (SP.rand_int 100) with
+                | Workload.Push -> S.push stack ~tid (SP.rand_int value_range)
+                | Workload.Pop -> ignore (S.pop stack ~tid)
+                | Workload.Peek -> ignore (S.peek stack ~tid));
+                incr ops
+              done;
+              counts.(tid) <- !ops)
+        done;
+        Sec_sim.Sim.await_all ();
+        Array.fold_left ( + ) 0 counts)
+  in
+  Measurement.of_simulated ~algorithm:S.name ~threads ~ops
+    ~cycles:duration_cycles
+
+(* Like [run], but recording a per-operation latency histogram (virtual
+   cycles, benchmark-loop overhead excluded). *)
+let run_latency_profile (module Maker : Registry.MAKER) ~topology ~threads
+    ~duration_cycles ~mix ?(prefill = default_prefill)
+    ?(value_range = default_value_range) ?(seed = 1) () =
+  let module S = Maker (SP) in
+  let histogram, _ =
+    Sec_sim.Sim.run ~seed ~jitter:bench_jitter ~topology (fun () ->
+        let stack = S.create ~max_threads:(max threads 1) () in
+        for i = 1 to prefill do
+          S.push stack ~tid:0 (i mod value_range)
+        done;
+        let per_thread = Array.init threads (fun _ -> Latency.create ()) in
+        let deadline = Int64.add (SP.now_ns ()) (Int64.of_int duration_cycles) in
+        for _ = 1 to threads do
+          Sec_sim.Sim.spawn (fun () ->
+              let tid = Sec_sim.Sim.fiber_id () in
+              let hist = per_thread.(tid) in
+              while Int64.compare (SP.now_ns ()) deadline < 0 do
+                SP.relax loop_overhead;
+                let op = Workload.pick mix (SP.rand_int 100) in
+                let start = SP.now_ns () in
+                (match op with
+                | Workload.Push -> S.push stack ~tid (SP.rand_int value_range)
+                | Workload.Pop -> ignore (S.pop stack ~tid)
+                | Workload.Peek -> ignore (S.peek stack ~tid));
+                let finish = SP.now_ns () in
+                Latency.add hist (Int64.to_int (Int64.sub finish start))
+              done)
+        done;
+        Sec_sim.Sim.await_all ();
+        Array.fold_left Latency.merge (Latency.create ()) per_thread)
+  in
+  histogram
+
+(* SEC with statistics collection, for the batching-degree tables. *)
+let run_sec_stats ~config ~topology ~threads ~duration_cycles ~mix
+    ?(prefill = default_prefill) ?(value_range = default_value_range)
+    ?(seed = 1) () =
+  let module Sec = Sec_core.Sec_stack.Make (SP) in
+  let config = { config with Sec_core.Config.collect_stats = true } in
+  let stats, _ =
+    Sec_sim.Sim.run ~seed ~jitter:bench_jitter ~topology (fun () ->
+        let stack = Sec.create_with ~config ~max_threads:(max threads 1) () in
+        for i = 1 to prefill do
+          Sec.push stack ~tid:0 (i mod value_range)
+        done;
+        (* Exclude the single-threaded prefill (one batch per push) from
+           the reported batching statistics. *)
+        let baseline = Sec.stats stack in
+        let deadline = Int64.add (SP.now_ns ()) (Int64.of_int duration_cycles) in
+        for _ = 1 to threads do
+          Sec_sim.Sim.spawn (fun () ->
+              let tid = Sec_sim.Sim.fiber_id () in
+              while Int64.compare (SP.now_ns ()) deadline < 0 do
+                SP.relax loop_overhead;
+                match Workload.pick mix (SP.rand_int 100) with
+                | Workload.Push -> Sec.push stack ~tid (SP.rand_int value_range)
+                | Workload.Pop -> ignore (Sec.pop stack ~tid)
+                | Workload.Peek -> ignore (Sec.peek stack ~tid)
+              done)
+        done;
+        Sec_sim.Sim.await_all ();
+        Sec_core.Sec_stats.diff (Sec.stats stack) baseline)
+  in
+  stats

@@ -1,0 +1,51 @@
+(** Timed throughput runs inside the discrete-event simulator, at the
+    paper's 56/96/192 hardware-thread scales. Deterministic per seed. *)
+
+val default_prefill : int
+val default_value_range : int
+
+(** Benchmark-loop overhead charged per operation (cycles). *)
+val loop_overhead : int
+
+(** [run maker ~topology ~threads ~duration_cycles ~mix ()] spawns
+    [threads] fibers that hammer a fresh stack until the virtual deadline
+    and reports throughput (scaled as if the machine ran at 3 GHz). *)
+val run :
+  (module Registry.MAKER) ->
+  topology:Sec_sim.Topology.t ->
+  threads:int ->
+  duration_cycles:int ->
+  mix:Workload.mix ->
+  ?prefill:int ->
+  ?value_range:int ->
+  ?seed:int ->
+  unit ->
+  Measurement.t
+
+(** Like {!run}, but returns a per-operation latency histogram in virtual
+    cycles (used by the latency-distribution experiment). *)
+val run_latency_profile :
+  (module Registry.MAKER) ->
+  topology:Sec_sim.Topology.t ->
+  threads:int ->
+  duration_cycles:int ->
+  mix:Workload.mix ->
+  ?prefill:int ->
+  ?value_range:int ->
+  ?seed:int ->
+  unit ->
+  Latency.t
+
+(** Same run shape for SEC only, returning its batch statistics (prefill
+    excluded) — used for the paper's Tables 1–3. *)
+val run_sec_stats :
+  config:Sec_core.Config.t ->
+  topology:Sec_sim.Topology.t ->
+  threads:int ->
+  duration_cycles:int ->
+  mix:Workload.mix ->
+  ?prefill:int ->
+  ?value_range:int ->
+  ?seed:int ->
+  unit ->
+  Sec_core.Sec_stats.t

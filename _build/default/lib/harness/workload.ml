@@ -1,0 +1,35 @@
+(* Operation mixes of the paper's methodology (Section 6): threads draw
+   push/pop/peek operations at random with fixed percentages. *)
+
+type mix = { push_pct : int; pop_pct : int; peek_pct : int; label : string }
+
+let make ~push ~pop ~peek label =
+  assert (push + pop + peek = 100);
+  { push_pct = push; pop_pct = pop; peek_pct = peek; label }
+
+(* 100% updates: 50% push, 50% pop. *)
+let update_heavy = make ~push:50 ~pop:50 ~peek:0 "100%upd"
+
+(* 50% updates: 25% push, 25% pop, 50% peek. *)
+let mixed = make ~push:25 ~pop:25 ~peek:50 "50%upd"
+
+(* 10% updates: 5% push, 5% pop, 90% peek. *)
+let read_heavy = make ~push:5 ~pop:5 ~peek:90 "10%upd"
+
+let push_only = make ~push:100 ~pop:0 ~peek:0 "push-only"
+let pop_only = make ~push:0 ~pop:100 ~peek:0 "pop-only"
+
+let all = [ update_heavy; mixed; read_heavy; push_only; pop_only ]
+
+let by_name name =
+  match List.find_opt (fun m -> m.label = name) all with
+  | Some m -> m
+  | None -> invalid_arg ("unknown workload: " ^ name)
+
+type op = Push | Pop | Peek
+
+(* [pick mix r] maps a uniform draw [r] in [0, 100) to an operation. *)
+let pick mix r =
+  if r < mix.push_pct then Push
+  else if r < mix.push_pct + mix.pop_pct then Pop
+  else Peek

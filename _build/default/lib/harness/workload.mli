@@ -1,0 +1,28 @@
+(** Operation mixes of the paper's methodology (Section 6). *)
+
+type mix = { push_pct : int; pop_pct : int; peek_pct : int; label : string }
+
+(** [make ~push ~pop ~peek label] — percentages must sum to 100. *)
+val make : push:int -> pop:int -> peek:int -> string -> mix
+
+(** 50% push / 50% pop ("100% updates"). *)
+val update_heavy : mix
+
+(** 25% push / 25% pop / 50% peek ("50% updates"). *)
+val mixed : mix
+
+(** 5% push / 5% pop / 90% peek ("10% updates"). *)
+val read_heavy : mix
+
+val push_only : mix
+val pop_only : mix
+
+val all : mix list
+
+(** Look up a preset by its label ("100%upd", "push-only", ...). *)
+val by_name : string -> mix
+
+type op = Push | Pop | Peek
+
+(** [pick mix r] maps a uniform draw [r] in [0, 100) to an operation. *)
+val pick : mix -> int -> op

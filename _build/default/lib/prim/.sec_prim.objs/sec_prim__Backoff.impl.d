@@ -1,0 +1,1 @@
+lib/prim/backoff.ml: Prim_intf

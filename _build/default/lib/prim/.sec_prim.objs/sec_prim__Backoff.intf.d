@@ -1,0 +1,1 @@
+lib/prim/backoff.mli: Prim_intf

@@ -1,0 +1,1 @@
+lib/prim/barrier.ml: Backoff Prim_intf

@@ -1,0 +1,1 @@
+lib/prim/barrier.mli: Prim_intf

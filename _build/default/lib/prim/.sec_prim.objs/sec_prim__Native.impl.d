@@ -1,0 +1,1 @@
+lib/prim/native.ml: Domain Int64 Padding Rng Stdlib Thread Unix

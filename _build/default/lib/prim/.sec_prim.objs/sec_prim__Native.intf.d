@@ -1,0 +1,1 @@
+lib/prim/native.mli: Prim_intf

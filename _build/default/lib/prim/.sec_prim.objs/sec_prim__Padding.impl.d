@@ -1,0 +1,1 @@
+lib/prim/padding.ml: Obj

@@ -1,0 +1,1 @@
+lib/prim/prim_intf.ml:

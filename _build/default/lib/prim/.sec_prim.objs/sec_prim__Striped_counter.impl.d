@@ -1,0 +1,1 @@
+lib/prim/striped_counter.ml: Array Prim_intf

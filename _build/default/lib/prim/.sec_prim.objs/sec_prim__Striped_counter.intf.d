@@ -1,0 +1,1 @@
+lib/prim/striped_counter.mli: Prim_intf

@@ -1,0 +1,29 @@
+(* Generation-counting barrier: no per-thread state, safe for repeated
+   phases. The last arriver of a generation resets the count and bumps the
+   generation; everyone else spins on the generation change. *)
+
+module Make (P : Prim_intf.S) = struct
+  module B = Backoff.Make (P)
+
+  type t = {
+    parties : int;
+    count : int P.Atomic.t;
+    generation : int P.Atomic.t;
+  }
+
+  let create parties =
+    assert (parties > 0);
+    {
+      parties;
+      count = P.Atomic.make_padded 0;
+      generation = P.Atomic.make_padded 0;
+    }
+
+  let wait t =
+    let gen = P.Atomic.get t.generation in
+    if P.Atomic.fetch_and_add t.count 1 = t.parties - 1 then begin
+      P.Atomic.set t.count 0;
+      P.Atomic.incr t.generation
+    end
+    else B.spin_while (fun () -> P.Atomic.get t.generation = gen)
+end

@@ -1,0 +1,12 @@
+(** Reusable spinning barrier for synchronising benchmark phases. *)
+
+module Make (_ : Prim_intf.S) : sig
+  type t
+
+  (** [create parties] — a barrier that [parties] threads wait on. *)
+  val create : int -> t
+
+  (** Block (spin) until all parties have arrived; reusable across
+      generations. *)
+  val wait : t -> unit
+end

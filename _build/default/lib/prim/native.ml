@@ -1,0 +1,36 @@
+module Atomic = struct
+  type 'a t = 'a Stdlib.Atomic.t
+
+  let make = Stdlib.Atomic.make
+  let make_padded v = Padding.copy_as_padded (Stdlib.Atomic.make v)
+  let get = Stdlib.Atomic.get
+  let set = Stdlib.Atomic.set
+  let exchange = Stdlib.Atomic.exchange
+  let compare_and_set = Stdlib.Atomic.compare_and_set
+  let fetch_and_add = Stdlib.Atomic.fetch_and_add
+  let incr = Stdlib.Atomic.incr
+  let decr = Stdlib.Atomic.decr
+end
+
+let cpu_relax = Domain.cpu_relax
+
+let relax n =
+  for _ = 1 to n do
+    Domain.cpu_relax ()
+  done
+
+let yield = Thread.yield
+
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+(* Per-domain generator, lazily seeded from the domain id and the clock so
+   that concurrently created domains get distinct streams. *)
+let rng_key =
+  Domain.DLS.new_key (fun () ->
+      let id = (Domain.self () :> int) in
+      Rng.create
+        (Int64.add (Int64.of_int (0x51EC + (id * 0x9E37))) (now_ns ())))
+
+let seed_rng seed = Rng.create seed |> Domain.DLS.set rng_key
+let rand_int bound = Rng.int (Domain.DLS.get rng_key) bound
+let rand_bits () = Rng.bits (Domain.DLS.get rng_key)

@@ -1,0 +1,13 @@
+(** Native implementation of {!Prim_intf.S}: real shared memory via
+    [Stdlib.Atomic], running on [Domain]s.
+
+    Spin loops must escalate to {!yield} (see {!Backoff}); this host may
+    have fewer cores than domains, and a non-yielding spinner would burn
+    its whole scheduling quantum while the thread it waits for is
+    descheduled. *)
+
+include Prim_intf.S
+
+(** Re-seed the calling thread's random generator (tests use this for
+    reproducibility). *)
+val seed_rng : int64 -> unit

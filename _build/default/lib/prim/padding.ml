@@ -1,0 +1,23 @@
+let padded_words = 16
+
+(* Copying a block into a fresh, larger block is safe for blocks whose
+   fields are all scannable values and whose consumers address fields by
+   position only. [Atomic.t] qualifies: it is a single mutable field at
+   position 0 and all atomic primitives operate on field 0. *)
+let copy_as_padded (type a) (v : a) : a =
+  let r = Obj.repr v in
+  if Obj.is_int r then v
+  else
+    let tag = Obj.tag r in
+    let size = Obj.size r in
+    if tag >= Obj.no_scan_tag || tag = Obj.object_tag || size >= padded_words
+    then v
+    else begin
+      let b = Obj.new_block tag padded_words in
+      for i = 0 to size - 1 do
+        Obj.set_field b i (Obj.field r i)
+      done;
+      (* [Obj.new_block] initialises the remaining fields to [()], which is
+         a valid immediate, so the GC never sees an uninitialised word. *)
+      Obj.obj b
+    end

@@ -1,0 +1,23 @@
+(** Cache-line padding for heap blocks.
+
+    Contended atomic cells that live next to each other on the heap share a
+    cache line, so a write to one invalidates readers of the other (false
+    sharing). [copy_as_padded] re-allocates a block inside a block of at
+    least one cache line, which is the same technique the multicore-magic
+    library uses. *)
+
+(** Number of words a padded block occupies. At least 16 (128 bytes on a
+    64-bit machine, i.e. two cache lines, covering adjacent-line
+    prefetching). *)
+val padded_words : int
+
+(** [copy_as_padded v] returns a copy of [v] whose heap block is padded to
+    [padded_words] words. Immediate values and blocks that cannot be safely
+    copied (custom/no-scan tags, or blocks already at least that large) are
+    returned unchanged.
+
+    The copy has extra fields (all [()]), so it must only be used through
+    operations that address fields by position — e.g. [Atomic.t], records —
+    and never through [Obj.size], structural equality of the whole block,
+    or marshalling. *)
+val copy_as_padded : 'a -> 'a

@@ -1,0 +1,60 @@
+(* Signature of the execution substrate that every concurrent algorithm in
+   this repository is written against.
+
+   Two implementations exist:
+   - {!Sec_prim.Native}: real shared memory, [Stdlib.Atomic] and [Domain];
+   - [Sec_sim.Sim_prim]: a deterministic discrete-event simulator in which
+     every atomic access is charged against a NUMA cache-cost model.
+
+   Algorithms must route {e all} shared-memory communication through
+   [Atomic]; plain mutable fields are only allowed when they are published
+   through an atomic operation before becoming shared (the usual OCaml 5
+   publication idiom), because the simulator executes fibers one at a time
+   and does not intercept plain loads/stores. *)
+
+module type ATOMIC = sig
+  type 'a t
+
+  val make : 'a -> 'a t
+
+  (** [make_padded v] is [make v] but the cell is allocated in its own
+      cache line, so that independently contended cells never exhibit
+      false sharing. *)
+  val make_padded : 'a -> 'a t
+
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val exchange : 'a t -> 'a -> 'a
+  val compare_and_set : 'a t -> 'a -> 'a -> bool
+  val fetch_and_add : int t -> int -> int
+  val incr : int t -> unit
+  val decr : int t -> unit
+end
+
+module type S = sig
+  module Atomic : ATOMIC
+
+  (** Hint that the caller is spinning; on native hardware a pause
+      instruction, in the simulator a one-cycle charge. *)
+  val cpu_relax : unit -> unit
+
+  (** [relax n] relaxes for roughly [n] units. The simulator charges the
+      whole amount with a single scheduling event, which keeps spin loops
+      with exponential backoff cheap to simulate. *)
+  val relax : int -> unit
+
+  (** Give other threads a chance to run. Used by spin loops once they
+      escalate past busy waiting; essential when threads outnumber cores. *)
+  val yield : unit -> unit
+
+  (** Monotonic clock. Native: wall clock in nanoseconds. Simulator: the
+      calling fiber's virtual time in cycles. Only differences matter. *)
+  val now_ns : unit -> int64
+
+  (** [rand_int bound] draws uniformly from [\[0, bound)] using a
+      per-thread generator (no sharing, no synchronization). *)
+  val rand_int : int -> int
+
+  (** 30 random bits from the per-thread generator. *)
+  val rand_bits : unit -> int
+end

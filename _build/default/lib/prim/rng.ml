@@ -1,0 +1,29 @@
+type t = { mutable state : int64 }
+
+let golden_gamma = 0x9E3779B97F4A7C15L
+
+let create seed = { state = seed }
+let copy t = { state = t.state }
+
+(* SplitMix64 output function (Steele, Lea & Flood 2014). *)
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden_gamma;
+  mix t.state
+
+let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 34)
+
+let int t bound =
+  assert (bound > 0);
+  if bound = 1 then 0
+  else
+    (* Rejection-free: a 60-bit draw modulo [bound] has negligible bias for
+       the bounds used here (all far below 2^30). *)
+    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 4) in
+    r mod bound
+
+let split t = { state = next_int64 t }

@@ -1,0 +1,21 @@
+(* Statistics counter striped across cache lines: increments land on the
+   caller's own stripe, so instrumenting a hot path does not create a new
+   contention point. Reads sum all stripes and are approximate while
+   writers are active — fine for statistics. *)
+
+module Make (P : Prim_intf.S) = struct
+  type t = { stripes : int P.Atomic.t array }
+
+  let create ?(stripes = 16) () =
+    assert (stripes > 0);
+    { stripes = Array.init stripes (fun _ -> P.Atomic.make_padded 0) }
+
+  let stripe_of t tid = Array.unsafe_get t.stripes (tid mod Array.length t.stripes)
+  let add t ~tid n = ignore (P.Atomic.fetch_and_add (stripe_of t tid) n)
+  let incr t ~tid = add t ~tid 1
+
+  let get t =
+    Array.fold_left (fun acc c -> acc + P.Atomic.get c) 0 t.stripes
+
+  let reset t = Array.iter (fun c -> P.Atomic.set c 0) t.stripes
+end

@@ -1,0 +1,17 @@
+(** Contention-free statistics counters, striped across cache lines. *)
+
+module Make (_ : Prim_intf.S) : sig
+  type t
+
+  (** [create ~stripes ()] — more stripes, less cross-thread interference;
+      threads map to stripes by [tid mod stripes]. *)
+  val create : ?stripes:int -> unit -> t
+
+  val add : t -> tid:int -> int -> unit
+  val incr : t -> tid:int -> unit
+
+  (** Sum of all stripes; exact once writers are quiescent. *)
+  val get : t -> int
+
+  val reset : t -> unit
+end

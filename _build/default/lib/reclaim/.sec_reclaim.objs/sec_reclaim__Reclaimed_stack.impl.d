@@ -1,0 +1,1 @@
+lib/reclaim/reclaimed_stack.ml: Ebr Sec_prim

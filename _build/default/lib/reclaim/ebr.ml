@@ -1,0 +1,132 @@
+(* Epoch-based reclamation in the style of DEBRA [Brown, PODC 2015], the
+   scheme the paper's artifact uses to reclaim batches and stack nodes.
+
+   OCaml's GC makes manual reclamation unnecessary for memory safety, but
+   the substrate is still faithful: it defers a *destructor callback*
+   until no thread can possibly hold a reference obtained inside an
+   earlier critical section, which is exactly what frees memory in the C++
+   original (and what releases external resources here).
+
+   Protocol: a global epoch counter; each thread announces the epoch it
+   observed on entering a critical section and a quiescent marker on
+   leaving. Objects retired in epoch [e] may be destroyed once the global
+   epoch reaches [e + 2], because every announcement then postdates the
+   retirement. The epoch may only advance when every active thread has
+   announced the current value. Retirement is per-thread (no shared limbo
+   lists); advancing and sweeping are amortised over retirements. *)
+
+module Make (P : Sec_prim.Prim_intf.S) = struct
+  module A = P.Atomic
+
+  let quiescent = -1
+
+  type retired = { epoch : int; destroy : unit -> unit }
+
+  type slot = {
+    announce : int A.t; (* epoch the thread is reading under, or -1 *)
+    mutable limbo : retired list; (* thread-private *)
+    mutable retire_count : int;
+    mutable reclaimed : int;
+  }
+
+  type t = {
+    global_epoch : int A.t;
+    slots : slot array;
+    sweep_threshold : int; (* retirements between advance attempts *)
+  }
+
+  let create ?(max_threads = 64) ?(sweep_threshold = 8) () =
+    {
+      global_epoch = A.make_padded 0;
+      slots =
+        Array.init max_threads (fun _ ->
+            {
+              announce = A.make_padded quiescent;
+              limbo = [];
+              retire_count = 0;
+              reclaimed = 0;
+            });
+      sweep_threshold;
+    }
+
+  (* Enter a critical section: announce the current epoch. Re-announce if
+     the epoch moved between read and announce, so that the announcement
+     is never behind the epoch at entry. *)
+  let enter t ~tid =
+    let slot = t.slots.(tid) in
+    let rec announce () =
+      let e = A.get t.global_epoch in
+      A.set slot.announce e;
+      if A.get t.global_epoch <> e then announce ()
+    in
+    announce ()
+
+  let exit t ~tid = A.set t.slots.(tid).announce quiescent
+
+  (* The epoch can advance only when no thread is still reading under an
+     older one. *)
+  let try_advance t =
+    let e = A.get t.global_epoch in
+    let blocked = ref false in
+    Array.iter
+      (fun slot ->
+        let a = A.get slot.announce in
+        if a <> quiescent && a <> e then blocked := true)
+      t.slots;
+    if not !blocked then ignore (A.compare_and_set t.global_epoch e (e + 1))
+
+  (* Destroy everything retired at least two epochs ago. *)
+  let sweep t ~tid =
+    let slot = t.slots.(tid) in
+    let e = A.get t.global_epoch in
+    let keep, free = List.partition (fun r -> r.epoch > e - 2) slot.limbo in
+    slot.limbo <- keep;
+    List.iter
+      (fun r ->
+        r.destroy ();
+        slot.reclaimed <- slot.reclaimed + 1)
+      free
+
+  let retire t ~tid destroy =
+    let slot = t.slots.(tid) in
+    slot.limbo <- { epoch = A.get t.global_epoch; destroy } :: slot.limbo;
+    slot.retire_count <- slot.retire_count + 1;
+    if slot.retire_count mod t.sweep_threshold = 0 then begin
+      try_advance t;
+      sweep t ~tid
+    end
+
+  (* Run [f] inside a critical section (exception-safe). *)
+  let guard t ~tid f =
+    enter t ~tid;
+    match f () with
+    | v ->
+        exit t ~tid;
+        v
+    | exception exn ->
+        exit t ~tid;
+        raise exn
+
+  (* Reclaim whatever is reclaimable now, e.g. at shutdown. Keeps trying
+     to advance so that recently retired objects age out; objects retired
+     under the current epoch need two advances. *)
+  let flush t ~tid =
+    try_advance t;
+    try_advance t;
+    sweep t ~tid
+
+  let epoch t = A.get t.global_epoch
+
+  type stats = { retired : int; reclaimed : int; pending : int }
+
+  let stats t =
+    Array.fold_left
+      (fun acc slot ->
+        {
+          retired = acc.retired + slot.retire_count;
+          reclaimed = acc.reclaimed + slot.reclaimed;
+          pending = acc.pending + List.length slot.limbo;
+        })
+      { retired = 0; reclaimed = 0; pending = 0 }
+      t.slots
+end

@@ -1,0 +1,43 @@
+(** Epoch-based reclamation (DEBRA-style): defer a destructor until no
+    thread can hold a reference obtained in an earlier critical section.
+
+    Usage per thread [tid]: wrap reads of shared nodes in
+    [guard t ~tid (fun () -> ...)]; call [retire t ~tid destroy] on nodes
+    unlinked from the structure. [destroy] runs once the global epoch has
+    advanced twice past the retirement. *)
+
+module Make (_ : Sec_prim.Prim_intf.S) : sig
+  type t
+
+  val create : ?max_threads:int -> ?sweep_threshold:int -> unit -> t
+
+  (** Announce the current epoch; must precede any access to nodes that
+      may concurrently be retired. *)
+  val enter : t -> tid:int -> unit
+
+  (** Announce quiescence. *)
+  val exit : t -> tid:int -> unit
+
+  (** [retire t ~tid destroy] defers [destroy] until safe. Amortised: every
+      [sweep_threshold] retirements also tries to advance the epoch and
+      sweeps this thread's limbo list. *)
+  val retire : t -> tid:int -> (unit -> unit) -> unit
+
+  (** [guard t ~tid f] runs [f] between {!enter} and {!exit},
+      exception-safely. *)
+  val guard : t -> tid:int -> (unit -> 'a) -> 'a
+
+  (** Attempt to advance the global epoch (succeeds only when every active
+      thread has announced it). *)
+  val try_advance : t -> unit
+
+  (** Advance as far as possible and sweep the caller's limbo list; for
+      shutdown and tests. *)
+  val flush : t -> tid:int -> unit
+
+  val epoch : t -> int
+
+  type stats = { retired : int; reclaimed : int; pending : int }
+
+  val stats : t -> stats
+end

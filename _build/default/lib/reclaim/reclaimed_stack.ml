@@ -1,0 +1,64 @@
+(* A Treiber stack integrated with epoch-based reclamation, following the
+   paper's Section 4 methodology: traversals run inside an EBR critical
+   section, and a node is retired the moment its value has been handed to
+   the popping thread. In C++ the deferred destructor frees the node; in
+   OCaml the GC frees memory, so the destructor instead releases whatever
+   external resource rides on the node (and the tests use it to prove no
+   node is destroyed while a reader might still hold it). *)
+
+module Make (P : Sec_prim.Prim_intf.S) = struct
+  module A = P.Atomic
+  module Backoff = Sec_prim.Backoff.Make (P)
+  module Ebr = Ebr.Make (P)
+
+  type 'a node = { value : 'a; next : 'a node option; on_reclaim : unit -> unit }
+
+  type 'a t = { top : 'a node option A.t; ebr : Ebr.t }
+
+  let create ?(max_threads = 64) () =
+    { top = A.make_padded None; ebr = Ebr.create ~max_threads () }
+
+  (* [push t ~tid v ~on_reclaim] — [on_reclaim] runs once the node has
+     been popped AND no concurrent operation can still reach it. *)
+  let push t ~tid v ~on_reclaim =
+    let backoff = Backoff.create () in
+    Ebr.guard t.ebr ~tid (fun () ->
+        let rec attempt () =
+          let cur = A.get t.top in
+          if not
+               (A.compare_and_set t.top cur
+                  (Some { value = v; next = cur; on_reclaim }))
+          then begin
+            Backoff.once backoff;
+            attempt ()
+          end
+        in
+        attempt ())
+
+  let pop t ~tid =
+    let backoff = Backoff.create () in
+    Ebr.guard t.ebr ~tid (fun () ->
+        let rec attempt () =
+          match A.get t.top with
+          | None -> None
+          | Some n as cur ->
+              if A.compare_and_set t.top cur n.next then begin
+                Ebr.retire t.ebr ~tid n.on_reclaim;
+                Some n.value
+              end
+              else begin
+                Backoff.once backoff;
+                attempt ()
+              end
+        in
+        attempt ())
+
+  let peek t ~tid =
+    Ebr.guard t.ebr ~tid (fun () ->
+        match A.get t.top with None -> None | Some n -> Some n.value)
+
+  (* Drain deferred destructors (shutdown / tests). *)
+  let flush t ~tid = Ebr.flush t.ebr ~tid
+
+  let reclamation_stats t = Ebr.stats t.ebr
+end

@@ -1,0 +1,1 @@
+lib/sim/explore.ml: Array Effect Format Int64 List Printexc Printf Sec_prim Sim_effects String

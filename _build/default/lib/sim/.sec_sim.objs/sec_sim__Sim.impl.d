@@ -1,0 +1,1 @@
+lib/sim/sim.ml: Array Cache_model Effect Int64 Sec_prim Sim_effects Topology

@@ -1,0 +1,1 @@
+lib/sim/sim.mli: Cache_model Sec_prim Topology

@@ -1,0 +1,1 @@
+lib/sim/sim_effects.ml: Cache_model Effect Sec_prim

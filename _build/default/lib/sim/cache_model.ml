@@ -1,0 +1,153 @@
+(* Socket-granular MESI-flavoured cost model.
+
+   Every simulated atomic cell is its own cache line (identified by an
+   integer). For each line we track the owning core (last writer, if its
+   copy is still exclusive) and a bitmask of sockets holding a shared
+   copy. Charging rules:
+
+   - read: cheap if we own the line or our socket holds a copy; otherwise
+     a transfer from the owner's socket (local or remote), after which our
+     socket is added to the sharers.
+   - write / RMW: cheap premium if we own it exclusively; otherwise a
+     transfer plus an invalidation broadcast proportional to how many other
+     sockets held a copy. The writer becomes the exclusive owner.
+
+   Crucially, a line is a *serial resource in time*: any access that has
+   to move the line (a miss, an RMW from a non-owner, an invalidating
+   write) occupies it until the transfer completes, so concurrent misses
+   on one hot line queue up behind each other. This is what makes a
+   contended CAS/FAA cell a sequential bottleneck — the central phenomenon
+   the SEC paper's figures are about. Cache hits do not occupy the line.
+
+   [access] therefore takes the accessor's current virtual time and
+   returns its new virtual time. *)
+
+type kind = Read | Write | Rmw
+
+type line = {
+  mutable owner : int; (* core id of exclusive owner, -1 if none *)
+  mutable owner_socket : int;
+  mutable sharers : int; (* socket bitmask (<= 62 sockets) *)
+  mutable busy_until : int; (* virtual time the line is free again *)
+}
+
+type t = {
+  topo : Topology.t;
+  mutable lines : line array;
+  mutable used : int;
+  (* traffic statistics *)
+  mutable transfers : int;
+  mutable remote_transfers : int;
+  mutable invalidations : int;
+}
+
+let fresh_line () = { owner = -1; owner_socket = -1; sharers = 0; busy_until = 0 }
+
+let create topo =
+  {
+    topo;
+    lines = Array.init 1024 (fun _ -> fresh_line ());
+    used = 0;
+    transfers = 0;
+    remote_transfers = 0;
+    invalidations = 0;
+  }
+
+(* Allocation writes the line, so a fresh cell starts exclusively owned by
+   the creating core: its own subsequent accesses are L1 hits and only
+   *other* threads pay a transfer — as on real hardware. *)
+let new_line t ~core ~socket =
+  if t.used >= Array.length t.lines then begin
+    let bigger =
+      Array.init
+        (2 * Array.length t.lines)
+        (fun i -> if i < Array.length t.lines then t.lines.(i) else fresh_line ())
+    in
+    t.lines <- bigger
+  end;
+  let id = t.used in
+  t.used <- id + 1;
+  let line = t.lines.(id) in
+  line.owner <- core;
+  line.owner_socket <- socket;
+  line.sharers <- 1 lsl socket;
+  id
+
+let popcount =
+  let rec go acc n = if n = 0 then acc else go (acc + (n land 1)) (n lsr 1) in
+  go 0
+
+(* Returns the accessor's new virtual time after performing [kind] on
+   [loc] at time [now]. *)
+let access t ~core ~socket ~loc ~now kind =
+  let c = t.topo.Topology.costs in
+  let line = t.lines.(loc) in
+  let bit = 1 lsl socket in
+  (* A hit costs [cost] without occupying the line; a miss queues on the
+     line and occupies it for the duration of the transfer. *)
+  let hit cost = now + cost in
+  let miss cost =
+    let start = max now line.busy_until in
+    let finish = start + cost in
+    line.busy_until <- finish;
+    finish
+  in
+  match kind with
+  | Read ->
+      if line.owner = core then hit c.Topology.l1_hit
+      else if line.sharers land bit <> 0 then hit c.Topology.shared_hit
+      else begin
+        (* Pull a copy from wherever the line lives. *)
+        t.transfers <- t.transfers + 1;
+        let cost =
+          if line.owner_socket = -1 || line.owner_socket = socket then
+            c.Topology.local_transfer
+          else begin
+            t.remote_transfers <- t.remote_transfers + 1;
+            c.Topology.remote_transfer
+          end
+        in
+        line.sharers <- line.sharers lor bit;
+        (* A read demotes any exclusive owner to shared. *)
+        if line.owner <> -1 then
+          line.sharers <- line.sharers lor (1 lsl line.owner_socket);
+        line.owner <- -1;
+        miss cost
+      end
+  | Write | Rmw ->
+      let premium = match kind with Rmw -> c.Topology.rmw_extra | _ -> 0 in
+      if line.owner = core then hit (c.Topology.l1_hit + premium)
+      else begin
+        let holders =
+          line.sharers
+          lor (if line.owner = -1 then 0 else 1 lsl line.owner_socket)
+        in
+        let other_sockets = popcount (holders land lnot bit) in
+        let base =
+          if holders = 0 then c.Topology.local_transfer
+          else if line.owner_socket = socket || holders land bit <> 0 then begin
+            t.transfers <- t.transfers + 1;
+            c.Topology.local_transfer
+          end
+          else begin
+            t.transfers <- t.transfers + 1;
+            t.remote_transfers <- t.remote_transfers + 1;
+            c.Topology.remote_transfer
+          end
+        in
+        if other_sockets > 0 then
+          t.invalidations <- t.invalidations + other_sockets;
+        line.owner <- core;
+        line.owner_socket <- socket;
+        line.sharers <- bit;
+        miss (base + premium + (other_sockets * c.Topology.invalidate_per_socket))
+      end
+
+type traffic = { transfers : int; remote_transfers : int; invalidations : int }
+
+let traffic (m : t) =
+  {
+    transfers = m.transfers;
+    remote_transfers = m.remote_transfers;
+    invalidations = m.invalidations;
+  }

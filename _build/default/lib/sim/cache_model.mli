@@ -1,0 +1,25 @@
+(** Socket-granular cache-coherence cost model: every simulated atomic
+    cell is a cache line with an exclusive owner and a socket-level
+    sharer set; accesses are charged L1/shared/local/remote costs plus
+    invalidation broadcasts. See the implementation header for the rules. *)
+
+type kind = Read | Write | Rmw
+
+type t
+
+val create : Topology.t -> t
+
+(** Allocate a fresh line, returning its id. The line starts exclusively
+    owned by the creating core (allocation writes it). *)
+val new_line : t -> core:int -> socket:int -> int
+
+(** [access t ~core ~socket ~loc ~now kind] performs one access at virtual
+    time [now] and returns the accessor's new virtual time. Misses and
+    RMWs from non-owners queue on the line's availability (a hot line is a
+    serial resource); hits are charged without occupying the line. *)
+val access : t -> core:int -> socket:int -> loc:int -> now:int -> kind -> int
+
+type traffic = { transfers : int; remote_transfers : int; invalidations : int }
+
+(** Cumulative coherence traffic since [create]. *)
+val traffic : t -> traffic

@@ -1,0 +1,349 @@
+(* Systematic schedule exploration with preemption bounding, in the style
+   of CHESS (Musuvathi & Qadeer) and dscheck: replay a scenario under
+   every schedule that deviates from a fair round-robin baseline by at
+   most [max_preemptions] forced context switches, each placed immediately
+   before an atomic access.
+
+   Soundness for *blocking* algorithms (SEC spins on freezers and
+   combiners) comes from the fair baseline: between forced preemptions,
+   fibers rotate round-robin every [quantum] accesses, so a spinning fiber
+   always lets the fiber it waits for run. The bug-finding power comes
+   from the forced preemptions — empirically most concurrency bugs need
+   only one or two (the CHESS observation).
+
+   Schedules are enumerated by depth-first search over placement lists
+   [(step, fiber); ...] with strictly increasing steps; each run replays
+   the scenario from scratch (the generator re-creates all state and
+   per-fiber RNGs are reseeded, so replay is deterministic).
+
+   Like {!Sim}, the engine interprets the effects of {!Sim_effects}; there
+   is no cost model here — only interleavings matter. *)
+
+type placement = { step : int; fiber : int }
+
+type violation_kind =
+  | Check_failed  (** the scenario's final check returned false *)
+  | Fiber_raised of string  (** a fiber or the check raised *)
+  | Livelock  (** a schedule exceeded the per-run step budget *)
+
+type violation = {
+  kind : violation_kind;
+  schedule : placement list;  (** forced preemptions reproducing it *)
+  explored : int;  (** schedules run up to and including the violation *)
+}
+
+type result =
+  | Passed of { schedules : int; truncated : bool }
+  | Failed of violation
+
+exception Unsupported of string
+
+let pp_result ppf = function
+  | Passed { schedules; truncated } ->
+      Format.fprintf ppf "passed (%d schedules%s)" schedules
+        (if truncated then ", truncated" else "")
+  | Failed { kind; schedule; explored } ->
+      let kind_str =
+        match kind with
+        | Check_failed -> "check failed"
+        | Fiber_raised msg -> "raised: " ^ msg
+        | Livelock -> "livelock"
+      in
+      Format.fprintf ppf "FAILED after %d schedules (%s) at preemptions [%s]"
+        explored kind_str
+        (String.concat "; "
+           (List.map
+              (fun p -> Printf.sprintf "step %d -> fiber %d" p.step p.fiber)
+              schedule))
+
+(* ------------------------------------------------------------------ *)
+(* One schedule                                                         *)
+
+type fiber_state =
+  | Start of (unit -> unit)
+  | Paused of (unit -> unit) (* resumes the captured continuation *)
+  | Done
+
+type run_ctx = {
+  mutable fibers : fiber_state array;
+  mutable rngs : Sec_prim.Rng.t array;
+  mutable current : int;
+  mutable in_quantum : int;
+  quantum : int;
+  mutable step : int;
+  mutable pending : placement list; (* forced preemptions, ascending *)
+  mutable next_loc : int;
+  max_steps : int;
+  mutable livelocked : bool;
+  (* Extension points for the DFS: steps (past the last forced one) at
+     which another fiber was runnable, with the alternatives. *)
+  mutable extensions : (int * int list) list; (* reversed *)
+  collect_from : int;
+  collecting : bool;
+  max_extensions : int;
+  mutable extensions_truncated : bool;
+  setup_rng : Sec_prim.Rng.t; (* for effects outside any fiber *)
+}
+
+let runnable_others ctx =
+  let alts = ref [] in
+  Array.iteri
+    (fun i st ->
+      match st with
+      | Done -> ()
+      | Start _ | Paused _ -> if i <> ctx.current then alts := i :: !alts)
+    ctx.fibers;
+  !alts
+
+let next_runnable ctx =
+  let n = Array.length ctx.fibers in
+  let rec scan k =
+    if k > n then None
+    else
+      let i = (ctx.current + k) mod n in
+      match ctx.fibers.(i) with
+      | Done -> scan (k + 1)
+      | Start _ | Paused _ -> Some i
+  in
+  scan 1
+
+(* Tail-call discipline as in {!Sim}: every branch ends in [continue],
+   [run_fiber], [dispatch] or a plain return unwinding to the driver. *)
+let rec dispatch ctx fiber =
+  ctx.current <- fiber;
+  ctx.in_quantum <- ctx.quantum;
+  match ctx.fibers.(fiber) with
+  | Done -> assert false
+  | Paused resume -> resume ()
+  | Start body -> run_fiber ctx fiber body
+
+and run_fiber ctx fiber body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc =
+        (fun () ->
+          ctx.fibers.(fiber) <- Done;
+          match next_runnable ctx with
+          | None -> ()
+          | Some f -> dispatch ctx f);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sim_effects.Access (_, _) ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  at_access ctx (fun () -> continue k ()))
+          | Sim_effects.Relax _ -> Some (fun k -> continue k ())
+          | Sim_effects.Yield ->
+              Some
+                (fun k ->
+                  (* A yield rotates immediately — that is its meaning. *)
+                  match next_runnable ctx with
+                  | None -> continue k ()
+                  | Some f ->
+                      ctx.fibers.(ctx.current) <-
+                        Paused (fun () -> continue k ());
+                      dispatch ctx f)
+          | Sim_effects.New_loc ->
+              Some
+                (fun k ->
+                  let id = ctx.next_loc in
+                  ctx.next_loc <- id + 1;
+                  continue k id)
+          | Sim_effects.Now -> Some (fun k -> continue k (Int64.of_int ctx.step))
+          | Sim_effects.Rand_int n ->
+              Some
+                (fun k -> continue k (Sec_prim.Rng.int ctx.rngs.(ctx.current) n))
+          | Sim_effects.Rand_bits ->
+              Some
+                (fun k -> continue k (Sec_prim.Rng.bits ctx.rngs.(ctx.current)))
+          | Sim_effects.Fiber_id -> Some (fun k -> continue k ctx.current)
+          | Sim_effects.Spawn _ ->
+              Some
+                (fun _ ->
+                  raise (Unsupported "Sim.spawn inside an Explore scenario"))
+          | Sim_effects.Await_all ->
+              Some
+                (fun _ ->
+                  raise (Unsupported "Sim.await_all inside an Explore scenario"))
+          | _ -> None)
+    }
+
+(* The heart: a scheduling point just before an atomic access. [resume]
+   continues the suspended access. *)
+and at_access ctx (resume : unit -> unit) =
+  ctx.step <- ctx.step + 1;
+  if ctx.step > ctx.max_steps then begin
+    ctx.livelocked <- true
+    (* abandon: unwind to the driver, leaving other fibers paused *)
+  end
+  else begin
+    let forced =
+      match ctx.pending with
+      | { step; fiber } :: rest when step = ctx.step ->
+          ctx.pending <- rest;
+          Some fiber
+      | _ -> None
+    in
+    (* Record branching opportunities for the DFS — only past the last
+       forced preemption, so every schedule is generated exactly once. *)
+    (if ctx.collecting && forced = None && ctx.step > ctx.collect_from then
+       match runnable_others ctx with
+       | [] -> ()
+       | alts ->
+           if List.length ctx.extensions < ctx.max_extensions then
+             ctx.extensions <- (ctx.step, alts) :: ctx.extensions
+           else ctx.extensions_truncated <- true);
+    match forced with
+    | Some f -> (
+        match ctx.fibers.(f) with
+        | Done ->
+            (* Replay drift should not happen (runs are deterministic);
+               degrade to continuing rather than crashing. *)
+            resume ()
+        | Start _ | Paused _ ->
+            ctx.fibers.(ctx.current) <- Paused resume;
+            dispatch ctx f)
+    | None ->
+        if ctx.in_quantum <= 1 then begin
+          (* Baseline fairness: rotate round-robin. *)
+          match next_runnable ctx with
+          | None ->
+              ctx.in_quantum <- ctx.quantum;
+              resume ()
+          | Some f ->
+              ctx.fibers.(ctx.current) <- Paused resume;
+              dispatch ctx f
+        end
+        else begin
+          ctx.in_quantum <- ctx.in_quantum - 1;
+          resume ()
+        end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                               *)
+
+type one_outcome =
+  | Ok_run of bool (* final check result *)
+  | Raised of string
+  | Livelocked
+
+(* Effects performed outside the fibers (scenario setup, final check) are
+   interpreted trivially and sequentially. *)
+let run_one ctx scenario =
+  let open Effect.Deep in
+  let outcome = ref (Ok_run true) in
+  let body () =
+    let fibers, check = scenario () in
+    if fibers = [] then raise (Unsupported "scenario with no fibers");
+    ctx.fibers <- Array.of_list (List.map (fun b -> Start b) fibers);
+    ctx.rngs <-
+      Array.init (Array.length ctx.fibers) (fun i ->
+          Sec_prim.Rng.create (Int64.of_int (1_000 + i)));
+    dispatch ctx 0;
+    if ctx.livelocked then outcome := Livelocked
+    else outcome := Ok_run (check ())
+  in
+  (try
+     match_with body ()
+       {
+         retc = (fun () -> ());
+         exnc = (fun e -> outcome := Raised (Printexc.to_string e));
+         effc =
+           (fun (type a) (eff : a Effect.t) ->
+             match eff with
+             | Sim_effects.Access (_, _) ->
+                 Some (fun (k : (a, _) continuation) -> continue k ())
+             | Sim_effects.Relax _ -> Some (fun k -> continue k ())
+             | Sim_effects.Yield -> Some (fun k -> continue k ())
+             | Sim_effects.New_loc ->
+                 Some
+                   (fun k ->
+                     let id = ctx.next_loc in
+                     ctx.next_loc <- id + 1;
+                     continue k id)
+             | Sim_effects.Now ->
+                 Some (fun k -> continue k (Int64.of_int ctx.step))
+             | Sim_effects.Rand_int n ->
+                 Some (fun k -> continue k (Sec_prim.Rng.int ctx.setup_rng n))
+             | Sim_effects.Rand_bits ->
+                 Some (fun k -> continue k (Sec_prim.Rng.bits ctx.setup_rng))
+             | Sim_effects.Fiber_id -> Some (fun k -> continue k (-1))
+             | _ -> None)
+       }
+   with e -> outcome := Raised (Printexc.to_string e));
+  !outcome
+
+let make_ctx ~quantum ~max_steps ~placements ~collecting ~max_extensions =
+  let collect_from =
+    List.fold_left (fun acc (p : placement) -> max acc p.step) 0 placements
+  in
+  {
+    fibers = [||];
+    rngs = [||];
+    current = 0;
+    in_quantum = quantum;
+    quantum;
+    step = 0;
+    pending = placements;
+    next_loc = 0;
+    max_steps;
+    livelocked = false;
+    extensions = [];
+    collect_from;
+    collecting;
+    max_extensions;
+    extensions_truncated = false;
+    setup_rng = Sec_prim.Rng.create 99L;
+  }
+
+exception Stop of violation
+
+let for_all ?(max_preemptions = 1) ?(quantum = 8) ?(max_schedules = 20_000)
+    ?(max_steps = 50_000) scenario =
+  let explored = ref 0 in
+  let truncated = ref false in
+  let rec dfs placements =
+    if !explored >= max_schedules then truncated := true
+    else begin
+      incr explored;
+      let collecting = List.length placements < max_preemptions in
+      let ctx =
+        make_ctx ~quantum ~max_steps ~placements ~collecting
+          ~max_extensions:4_096
+      in
+      (match run_one ctx scenario with
+      | Raised msg ->
+          raise (Stop { kind = Fiber_raised msg; schedule = placements;
+                        explored = !explored })
+      | Livelocked ->
+          raise (Stop { kind = Livelock; schedule = placements;
+                        explored = !explored })
+      | Ok_run false ->
+          raise (Stop { kind = Check_failed; schedule = placements;
+                        explored = !explored })
+      | Ok_run true -> ());
+      if ctx.extensions_truncated then truncated := true;
+      List.iter
+        (fun (step, alts) ->
+          List.iter
+            (fun fiber -> dfs (placements @ [ { step; fiber } ]))
+            (List.rev alts))
+        (List.rev ctx.extensions)
+    end
+  in
+  match dfs [] with
+  | () -> Passed { schedules = !explored; truncated = !truncated }
+  | exception Stop v -> Failed v
+
+(* Replay a specific schedule (e.g. a reported violation) once and return
+   the check's verdict — for debugging a failure interactively. *)
+let replay ?(quantum = 8) ?(max_steps = 50_000) ~schedule scenario =
+  let ctx =
+    make_ctx ~quantum ~max_steps ~placements:schedule ~collecting:false
+      ~max_extensions:0
+  in
+  run_one ctx scenario

@@ -1,0 +1,56 @@
+(** Systematic schedule exploration with preemption bounding (CHESS-style
+    stateless model checking) over the {!Sim_effects} instrumentation.
+
+    A *scenario* is a generator returning fresh fiber bodies plus a final
+    check; {!for_all} replays it under every schedule that deviates from
+    a fair round-robin baseline by at most [max_preemptions] forced
+    context switches placed before atomic accesses. The fair baseline
+    makes exploration sound for blocking algorithms (spinning fibers
+    always let their partners run).
+
+    Scenario code uses {!Sim.Prim} exactly as simulator code does;
+    {!Sim.spawn}/{!Sim.await_all} are not available inside scenarios. *)
+
+type placement = { step : int; fiber : int }
+
+type violation_kind =
+  | Check_failed  (** the scenario's final check returned false *)
+  | Fiber_raised of string  (** a fiber or the check raised *)
+  | Livelock  (** a schedule exceeded the per-run step budget *)
+
+type violation = {
+  kind : violation_kind;
+  schedule : placement list;  (** forced preemptions reproducing it *)
+  explored : int;  (** schedules run up to and including the violation *)
+}
+
+type result =
+  | Passed of { schedules : int; truncated : bool }
+  | Failed of violation
+
+exception Unsupported of string
+
+val pp_result : Format.formatter -> result -> unit
+
+(** [for_all scenario] explores schedules depth-first until a violation,
+    exhaustion of the bounded space, or [max_schedules] runs ([truncated]
+    reports whether any bound cut the space). [scenario ()] must build
+    fresh state and return [(fiber_bodies, final_check)]; it runs once
+    per schedule, so it must be deterministic. *)
+val for_all :
+  ?max_preemptions:int ->
+  ?quantum:int ->
+  ?max_schedules:int ->
+  ?max_steps:int ->
+  (unit -> (unit -> unit) list * (unit -> bool)) ->
+  result
+
+type one_outcome = Ok_run of bool | Raised of string | Livelocked
+
+(** Replay one specific schedule (e.g. a reported violation). *)
+val replay :
+  ?quantum:int ->
+  ?max_steps:int ->
+  schedule:placement list ->
+  (unit -> (unit -> unit) list * (unit -> bool)) ->
+  one_outcome

@@ -1,0 +1,284 @@
+(* Deterministic discrete-event simulator of a NUMA multicore.
+
+   Each simulated hardware thread is an effects-based fiber with its own
+   virtual clock. Every *atomic* access performs an effect; the handler
+   charges cycles from the {!Cache_model} and re-schedules, always running
+   the fiber with the smallest virtual time next. Shared-memory conflicts
+   are therefore resolved in virtual-time order, and the makespan of a
+   run is [max] over fiber end times — exactly a parallel discrete-event
+   simulation.
+
+   Determinism: a fixed seed yields an identical schedule, identical final
+   state and identical statistics. The optional [jitter] parameter adds
+   seeded random delays to accesses, which perturbs interleavings — the
+   test suite sweeps seeds to explore schedules.
+
+   IMPORTANT implementation invariant: every handler branch, [schedule]
+   and [retc] must end in a TAIL call ([continue]/[schedule]/[run_fiber]);
+   this is what keeps the stack flat across millions of context switches. *)
+
+type fiber = {
+  fid : int; (* hardware-thread id; -2 for the main fiber *)
+  core : int; (* physical core in the cache model (SMT siblings share) *)
+  socket : int;
+  mutable time : int;
+  rng : Sec_prim.Rng.t;
+  is_main : bool;
+}
+
+open Sim_effects
+
+exception Deadlock
+exception Not_in_simulation
+
+(* ------------------------------------------------------------------ *)
+(* Binary min-heap of runnable fibers, keyed by (time, fid) so that      *)
+(* scheduling is deterministic.                                          *)
+
+module Heap = struct
+  type 'a entry = { time : int; fid : int; payload : 'a }
+  type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+  let create () = { data = [||]; size = 0 }
+
+  let less a b = a.time < b.time || (a.time = b.time && a.fid < b.fid)
+
+  let push t time fid payload =
+    let e = { time; fid; payload } in
+    if t.size = Array.length t.data then begin
+      let bigger = Array.make (max 16 (2 * t.size)) e in
+      Array.blit t.data 0 bigger 0 t.size;
+      t.data <- bigger
+    end;
+    t.data.(t.size) <- e;
+    t.size <- t.size + 1;
+    (* sift up *)
+    let i = ref (t.size - 1) in
+    while
+      !i > 0
+      &&
+      let parent = (!i - 1) / 2 in
+      less t.data.(!i) t.data.(parent)
+    do
+      let parent = (!i - 1) / 2 in
+      let tmp = t.data.(parent) in
+      t.data.(parent) <- t.data.(!i);
+      t.data.(!i) <- tmp;
+      i := parent
+    done
+
+  let min_key t = if t.size = 0 then None else Some (t.data.(0).time, t.data.(0).fid)
+
+  let pop t =
+    if t.size = 0 then None
+    else begin
+      let top = t.data.(0) in
+      t.size <- t.size - 1;
+      if t.size > 0 then begin
+        t.data.(0) <- t.data.(t.size);
+        (* sift down *)
+        let i = ref 0 in
+        let continue_sift = ref true in
+        while !continue_sift do
+          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+          let smallest = ref !i in
+          if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
+          if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
+          if !smallest = !i then continue_sift := false
+          else begin
+            let tmp = t.data.(!smallest) in
+            t.data.(!smallest) <- t.data.(!i);
+            t.data.(!i) <- tmp;
+            i := !smallest
+          end
+        done
+      end;
+      Some top.payload
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+
+type pending =
+  | Resume of fiber * (unit, unit) Effect.Deep.continuation
+  | Start of fiber * (unit -> unit)
+
+type ctx = {
+  topo : Topology.t;
+  cache : Cache_model.t;
+  heap : pending Heap.t;
+  jitter : int;
+  sched_rng : Sec_prim.Rng.t;
+  mutable next_core : int;
+  mutable live_workers : int;
+  mutable joiner : (fiber * (unit, unit) Effect.Deep.continuation) option;
+  mutable max_end_time : int;
+  mutable events : int;
+}
+
+type stats = {
+  elapsed_cycles : int;  (** makespan: latest fiber end time *)
+  events : int;  (** scheduling events (atomic accesses etc.) *)
+  traffic : Cache_model.traffic;
+  fibers : int;
+}
+
+let key_of fiber = (fiber.time, fiber.fid)
+
+let rec schedule ctx =
+  match Heap.pop ctx.heap with
+  | Some (Resume (_, k)) -> Effect.Deep.continue k ()
+  | Some (Start (f, body)) -> run_fiber ctx f body
+  | None -> (
+      match ctx.joiner with
+      | Some (f, k) when ctx.live_workers = 0 ->
+          ctx.joiner <- None;
+          f.time <- max f.time ctx.max_end_time;
+          Effect.Deep.continue k ()
+      | Some _ -> raise Deadlock
+      | None -> () (* fully drained: unwind to [run] *))
+
+(* Advance [fiber] to [new_time] and hand control to the globally earliest
+   fiber. Fast path: if [fiber] is still earliest, keep running it without
+   touching the heap. *)
+and reschedule ctx fiber new_time k =
+  let new_time =
+    if ctx.jitter > 0 then begin
+      (* Heavy-tailed jitter: small perturbations alone cannot reorder
+         fibers that queue on a busy line (the service gap absorbs them),
+         so occasionally insert a delay long enough to swap turns. *)
+      let extra = Sec_prim.Rng.int ctx.sched_rng (ctx.jitter + 1) in
+      let extra =
+        if Sec_prim.Rng.int ctx.sched_rng 8 = 0 then
+          extra + Sec_prim.Rng.int ctx.sched_rng ((8 * ctx.jitter) + 1)
+        else extra
+      in
+      new_time + extra
+    end
+    else new_time
+  in
+  fiber.time <- new_time;
+  ctx.events <- ctx.events + 1;
+  match Heap.min_key ctx.heap with
+  | Some key when key < key_of fiber ->
+      Heap.push ctx.heap fiber.time fiber.fid (Resume (fiber, k));
+      schedule ctx
+  | Some _ | None -> Effect.Deep.continue k ()
+
+and run_fiber ctx fiber body =
+  let open Effect.Deep in
+  match_with body ()
+    {
+      retc =
+        (fun () ->
+          ctx.max_end_time <- max ctx.max_end_time fiber.time;
+          if not fiber.is_main then ctx.live_workers <- ctx.live_workers - 1;
+          schedule ctx);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Access (loc, kind) ->
+              Some
+                (fun (k : (a, _) continuation) ->
+                  let new_time =
+                    Cache_model.access ctx.cache ~core:fiber.core
+                      ~socket:fiber.socket ~loc ~now:fiber.time kind
+                  in
+                  reschedule ctx fiber new_time k)
+          | Relax n -> Some (fun k -> reschedule ctx fiber (fiber.time + max 1 n) k)
+          | Yield ->
+              Some
+                (fun k ->
+                  reschedule ctx fiber
+                    (fiber.time + ctx.topo.Topology.costs.yield_quantum)
+                    k)
+          | New_loc ->
+              Some
+                (fun k ->
+                  continue k
+                    (Cache_model.new_line ctx.cache ~core:fiber.core
+                       ~socket:fiber.socket))
+          | Now -> Some (fun k -> continue k (Int64.of_int fiber.time))
+          | Rand_int n -> Some (fun k -> continue k (Sec_prim.Rng.int fiber.rng n))
+          | Rand_bits -> Some (fun k -> continue k (Sec_prim.Rng.bits fiber.rng))
+          | Fiber_id -> Some (fun k -> continue k fiber.fid)
+          | Spawn body ->
+              Some
+                (fun k ->
+                  let fid = ctx.next_core in
+                  ctx.next_core <- fid + 1;
+                  let worker =
+                    {
+                      fid;
+                      core = Topology.core_of ctx.topo fid;
+                      socket = Topology.socket_of ctx.topo fid;
+                      time = fiber.time;
+                      rng = Sec_prim.Rng.split ctx.sched_rng;
+                      is_main = false;
+                    }
+                  in
+                  ctx.live_workers <- ctx.live_workers + 1;
+                  Heap.push ctx.heap worker.time worker.fid (Start (worker, body));
+                  continue k ())
+          | Await_all ->
+              Some
+                (fun k ->
+                  if ctx.live_workers = 0 then continue k ()
+                  else begin
+                    ctx.joiner <- Some (fiber, k);
+                    schedule ctx
+                  end)
+          | _ -> None)
+    }
+
+(* ------------------------------------------------------------------ *)
+(* Public API                                                           *)
+
+let run ?(seed = 42) ?(jitter = 0) ~topology f =
+  let ctx =
+    {
+      topo = topology;
+      cache = Cache_model.create topology;
+      heap = Heap.create ();
+      jitter;
+      sched_rng = Sec_prim.Rng.create (Int64.of_int seed);
+      next_core = 0;
+      live_workers = 0;
+      joiner = None;
+      max_end_time = 0;
+      events = 0;
+    }
+  in
+  let result = ref None in
+  let main =
+    {
+      fid = -2;
+      core = -2;
+      socket = 0;
+      time = 0;
+      rng = Sec_prim.Rng.create (Int64.of_int (seed + 1));
+      is_main = true;
+    }
+  in
+  run_fiber ctx main (fun () -> result := Some (f ()));
+  match !result with
+  | None -> raise Deadlock
+  | Some r ->
+      ( r,
+        {
+          elapsed_cycles = ctx.max_end_time;
+          events = ctx.events;
+          traffic = Cache_model.traffic ctx.cache;
+          fibers = ctx.next_core;
+        } )
+
+let spawn body = Effect.perform (Spawn body)
+let await_all () = Effect.perform Await_all
+let fiber_id () = Effect.perform Fiber_id
+
+(* ------------------------------------------------------------------ *)
+
+(* The simulated substrate (re-exported from {!Sim_effects} so algorithm
+   code can keep writing [Sec_sim.Sim.Prim]). *)
+module Prim = Sim_effects.Prim

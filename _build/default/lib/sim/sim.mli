@@ -1,0 +1,38 @@
+(** Deterministic discrete-event simulator of a NUMA multicore.
+
+    Simulated threads are effects-based fibers with private virtual
+    clocks; atomic accesses are charged through {!Cache_model} and the
+    earliest fiber always runs next. Used to run every stack in this
+    repository at the paper's 56/96/192-thread scales on a small host,
+    and to explore interleavings deterministically in tests. *)
+
+exception Deadlock
+exception Not_in_simulation
+
+type stats = {
+  elapsed_cycles : int;  (** makespan: latest fiber end time *)
+  events : int;  (** scheduling events (atomic accesses etc.) *)
+  traffic : Cache_model.traffic;
+  fibers : int;  (** workers spawned *)
+}
+
+(** [run ~topology f] executes [f] as the main fiber of a fresh simulated
+    machine and returns its result plus run statistics. Deterministic for
+    a fixed [seed]; [jitter > 0] adds seeded random delays (up to that
+    many cycles) to every access, perturbing interleavings. *)
+val run : ?seed:int -> ?jitter:int -> topology:Topology.t -> (unit -> 'a) -> 'a * stats
+
+(** Spawn a worker fiber on the next hardware thread (compact placement).
+    Must be called inside {!run}; raises past the topology's thread count. *)
+val spawn : (unit -> unit) -> unit
+
+(** Block the calling fiber until every spawned worker has finished; its
+    clock advances to the makespan. *)
+val await_all : unit -> unit
+
+(** Hardware-thread id of the calling worker fiber (-2 for main). *)
+val fiber_id : unit -> int
+
+(** The simulated execution substrate. Using it outside {!run} raises
+    [Effect.Unhandled]. *)
+module Prim : Sec_prim.Prim_intf.S

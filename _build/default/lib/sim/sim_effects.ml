@@ -1,0 +1,68 @@
+(* The effect vocabulary shared by every scheduler that can execute
+   simulated threads: {!Sim} (discrete-event, cost-charging) and
+   {!Explore} (systematic schedule enumeration) both install handlers for
+   these effects; {!Prim} is the {!Sec_prim.Prim_intf.S} implementation
+   that performs them, so the same algorithm code runs under either. *)
+
+type _ Effect.t +=
+  | New_loc : int Effect.t
+  | Access : int * Cache_model.kind -> unit Effect.t
+  | Relax : int -> unit Effect.t
+  | Yield : unit Effect.t
+  | Now : int64 Effect.t
+  | Rand_int : int -> int Effect.t
+  | Rand_bits : int Effect.t
+  | Spawn : (unit -> unit) -> unit Effect.t
+  | Await_all : unit Effect.t
+  | Fiber_id : int Effect.t
+
+module Prim : Sec_prim.Prim_intf.S = struct
+  module Atomic = struct
+    type 'a t = { loc : int; mutable v : 'a }
+
+    (* Whichever scheduler handles these effects runs exactly one fiber at
+       a time, so after the effect accounts for the access we can act on
+       [v] directly. *)
+    let make v = { loc = Effect.perform New_loc; v }
+    let make_padded = make (* every simulated cell is its own line *)
+
+    let get t =
+      Effect.perform (Access (t.loc, Cache_model.Read));
+      t.v
+
+    let set t v =
+      Effect.perform (Access (t.loc, Cache_model.Write));
+      t.v <- v
+
+    let exchange t v =
+      Effect.perform (Access (t.loc, Cache_model.Rmw));
+      let old = t.v in
+      t.v <- v;
+      old
+
+    let compare_and_set t expected desired =
+      (* A failing CAS still costs the line transfer. *)
+      Effect.perform (Access (t.loc, Cache_model.Rmw));
+      if t.v == expected then begin
+        t.v <- desired;
+        true
+      end
+      else false
+
+    let fetch_and_add t n =
+      Effect.perform (Access (t.loc, Cache_model.Rmw));
+      let old = t.v in
+      t.v <- old + n;
+      old
+
+    let incr t = ignore (fetch_and_add t 1)
+    let decr t = ignore (fetch_and_add t (-1))
+  end
+
+  let cpu_relax () = Effect.perform (Relax 1)
+  let relax n = Effect.perform (Relax n)
+  let yield () = Effect.perform Yield
+  let now_ns () = Effect.perform Now
+  let rand_int n = Effect.perform (Rand_int n)
+  let rand_bits () = Effect.perform Rand_bits
+end

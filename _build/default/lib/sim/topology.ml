@@ -1,0 +1,113 @@
+(* Machine models for the simulator: the three Intel NUMA boxes of the
+   paper's evaluation, plus a small symmetric profile for tests.
+
+   Each machine is sockets x physical cores x 2-way SMT. Hardware threads
+   fill physical cores first (socket 0, then socket 1, ...) and only then
+   double up as SMT siblings — so a sweep first pays the cross-socket
+   cliff when it exceeds one socket's cores, and the upper half of the
+   sweep adds cheap siblings that share their core's cache. This matches
+   how the paper's unpinned runs behave on its machines (it reports
+   pinning made no significant difference).
+
+   Costs are in cycles and follow the usual x86 server hierarchy: an
+   L1-resident access is a couple of cycles, pulling a line from another
+   core on the same socket costs tens, crossing the UPI link costs
+   hundreds, and an atomic RMW adds a fixed premium on top of wherever the
+   line currently is. The absolute values are deliberately round — the
+   reproduction targets the *shape* of the paper's figures, which depends
+   on the ratios, not on exact latencies. *)
+
+type costs = {
+  l1_hit : int;  (** line already exclusive/shared in this core's cache *)
+  shared_hit : int;  (** line shared within this socket (L2/L3-ish) *)
+  local_transfer : int;  (** line owned by another core, same socket *)
+  remote_transfer : int;  (** line owned by another socket *)
+  rmw_extra : int;  (** premium for lock-prefixed operations *)
+  invalidate_per_socket : int;
+      (** per remote socket holding a copy when a write invalidates *)
+  yield_quantum : int;  (** cycles a yielding fiber steps aside for *)
+}
+
+type t = {
+  name : string;
+  sockets : int;
+  cores_per_socket : int;  (** physical cores *)
+  smt : int;  (** hardware threads per core *)
+  costs : costs;
+}
+
+let default_costs =
+  {
+    l1_hit = 2;
+    shared_hit = 12;
+    local_transfer = 60;
+    remote_transfer = 180;
+    rmw_extra = 20;
+    invalidate_per_socket = 40;
+    yield_quantum = 120;
+  }
+
+(* Intel Emerald Rapids: 2 NUMA nodes, 56 hardware threads total. *)
+let emerald =
+  {
+    name = "emerald";
+    sockets = 2;
+    cores_per_socket = 14;
+    smt = 2;
+    costs = default_costs;
+  }
+
+(* Intel Ice Lake-SP: 4 NUMA nodes x 12 cores x 2 SMT = 96. *)
+let icelake =
+  {
+    name = "icelake";
+    sockets = 4;
+    cores_per_socket = 12;
+    smt = 2;
+    costs = default_costs;
+  }
+
+(* Intel Sapphire Rapids: 8 NUMA nodes x 12 cores x 2 SMT = 192. *)
+let sapphire =
+  {
+    name = "sapphire";
+    sockets = 8;
+    cores_per_socket = 12;
+    smt = 2;
+    costs = default_costs;
+  }
+
+(* Small profile for unit tests: cheap to simulate, still NUMA + SMT. *)
+let testbox =
+  {
+    name = "testbox";
+    sockets = 2;
+    cores_per_socket = 2;
+    smt = 2;
+    costs = default_costs;
+  }
+
+let physical_cores t = t.sockets * t.cores_per_socket
+let max_threads t = physical_cores t * t.smt
+
+(* Hardware thread -> physical core: cores fill first, then SMT siblings
+   wrap around onto the same cores. *)
+let core_of t thread =
+  if thread < 0 || thread >= max_threads t then
+    invalid_arg
+      (Printf.sprintf "topology %s supports %d hardware threads" t.name
+         (max_threads t))
+  else thread mod physical_cores t
+
+let socket_of t thread = core_of t thread / t.cores_per_socket
+
+let by_name = function
+  | "emerald" -> emerald
+  | "icelake" -> icelake
+  | "sapphire" -> sapphire
+  | "testbox" -> testbox
+  | other -> invalid_arg ("unknown topology: " ^ other)
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%d sockets x %d cores x %d SMT = %d HW threads)"
+    t.name t.sockets t.cores_per_socket t.smt (max_threads t)

@@ -1,0 +1,51 @@
+(** Machine models for the simulator: sockets x physical cores x SMT, and
+    the cycle costs of the cache hierarchy. Includes the three NUMA
+    machines of the paper's evaluation. *)
+
+type costs = {
+  l1_hit : int;
+  shared_hit : int;
+  local_transfer : int;
+  remote_transfer : int;
+  rmw_extra : int;
+  invalidate_per_socket : int;
+  yield_quantum : int;
+}
+
+type t = {
+  name : string;
+  sockets : int;
+  cores_per_socket : int;
+  smt : int;
+  costs : costs;
+}
+
+val default_costs : costs
+
+(** Emerald Rapids: 2 sockets x 14 cores x 2 SMT (56 HW threads). *)
+val emerald : t
+
+(** Ice Lake-SP: 4 sockets x 12 cores x 2 SMT (96). *)
+val icelake : t
+
+(** Sapphire Rapids: 8 sockets x 12 cores x 2 SMT (192). *)
+val sapphire : t
+
+(** Small 2x2x2 profile for unit tests. *)
+val testbox : t
+
+val physical_cores : t -> int
+val max_threads : t -> int
+
+(** Physical core of hardware thread [i]: cores fill first (socket by
+    socket), then SMT siblings wrap onto the same cores. Raises
+    [Invalid_argument] past [max_threads]. *)
+val core_of : t -> int -> int
+
+val socket_of : t -> int -> int
+
+(** Look up a profile by name ("emerald", "icelake", "sapphire",
+    "testbox"); raises [Invalid_argument] otherwise. *)
+val by_name : string -> t
+
+val pp : Format.formatter -> t -> unit

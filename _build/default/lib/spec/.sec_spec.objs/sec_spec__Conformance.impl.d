@@ -1,0 +1,1 @@
+lib/spec/conformance.ml: Array Domain List Printf Sec_prim Stack_intf

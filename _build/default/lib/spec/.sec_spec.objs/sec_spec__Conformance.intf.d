@@ -1,0 +1,1 @@
+lib/spec/conformance.mli: Sec_prim Stack_intf

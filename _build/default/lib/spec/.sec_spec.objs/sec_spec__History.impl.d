@@ -1,0 +1,1 @@
+lib/spec/history.ml: Array Format Int64 List Sec_prim Stack_intf

@@ -1,0 +1,1 @@
+lib/spec/lin_check.ml: Array Bytes Char Format Hashtbl History Int64 List

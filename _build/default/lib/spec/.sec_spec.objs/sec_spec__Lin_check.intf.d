@@ -1,0 +1,1 @@
+lib/spec/lin_check.mli: Format History

@@ -1,0 +1,1 @@
+lib/spec/stack_intf.ml: Sec_prim

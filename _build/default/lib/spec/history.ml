@@ -1,0 +1,66 @@
+(* Concurrent-operation histories: what each thread invoked, what it got
+   back, and when. Recorded with per-thread buffers (no synchronisation on
+   the hot path) and merged after the run; timestamps come from the
+   substrate clock, so recorded real-time order is meaningful both natively
+   and under the simulator's virtual time. *)
+
+type 'a op = Push of 'a | Pop of 'a option | Peek of 'a option
+
+type 'a event = { tid : int; op : 'a op; inv : int64; resp : int64 }
+
+type 'a t = { buffers : 'a event list ref array }
+
+let create ~max_threads = { buffers = Array.init max_threads (fun _ -> ref []) }
+
+let add t ~tid op ~inv ~resp =
+  let buf = t.buffers.(tid) in
+  buf := { tid; op; inv; resp } :: !buf
+
+let events t =
+  let all = Array.fold_left (fun acc b -> List.rev_append !b acc) [] t.buffers in
+  List.sort (fun a b -> Int64.compare a.inv b.inv) all
+
+let length t = Array.fold_left (fun acc b -> acc + List.length !b) 0 t.buffers
+
+let clear t = Array.iter (fun b -> b := []) t.buffers
+
+let pp_op pp_v ppf = function
+  | Push v -> Format.fprintf ppf "push(%a)" pp_v v
+  | Pop None -> Format.fprintf ppf "pop()=empty"
+  | Pop (Some v) -> Format.fprintf ppf "pop()=%a" pp_v v
+  | Peek None -> Format.fprintf ppf "peek()=empty"
+  | Peek (Some v) -> Format.fprintf ppf "peek()=%a" pp_v v
+
+let pp_event pp_v ppf e =
+  Format.fprintf ppf "[t%d %Ld..%Ld %a]" e.tid e.inv e.resp (pp_op pp_v) e.op
+
+(* Wrap a stack so that every operation is recorded. The recorder must be
+   sized for the same [max_threads] as the stack. *)
+module Instrument (P : Sec_prim.Prim_intf.S) (S : Stack_intf.S) = struct
+  type 'a instrumented = { stack : 'a S.t; history : 'a t }
+
+  let name = S.name ^ "+rec"
+
+  let create ?(max_threads = 64) () =
+    { stack = S.create ~max_threads (); history = create ~max_threads }
+
+  let push t ~tid v =
+    let inv = P.now_ns () in
+    S.push t.stack ~tid v;
+    let resp = P.now_ns () in
+    add t.history ~tid (Push v) ~inv ~resp
+
+  let pop t ~tid =
+    let inv = P.now_ns () in
+    let r = S.pop t.stack ~tid in
+    let resp = P.now_ns () in
+    add t.history ~tid (Pop r) ~inv ~resp;
+    r
+
+  let peek t ~tid =
+    let inv = P.now_ns () in
+    let r = S.peek t.stack ~tid in
+    let resp = P.now_ns () in
+    add t.history ~tid (Peek r) ~inv ~resp;
+    r
+end

@@ -1,0 +1,38 @@
+(** Recording of concurrent operation histories, for linearizability
+    checking. Per-thread buffers: recording is synchronisation-free and
+    does not perturb the interleavings it observes. *)
+
+type 'a op = Push of 'a | Pop of 'a option | Peek of 'a option
+
+type 'a event = { tid : int; op : 'a op; inv : int64; resp : int64 }
+
+type 'a t
+
+val create : max_threads:int -> 'a t
+
+(** [add t ~tid op ~inv ~resp] records one completed operation. Only
+    thread [tid] may record under that tid. *)
+val add : 'a t -> tid:int -> 'a op -> inv:int64 -> resp:int64 -> unit
+
+(** All recorded events, sorted by invocation time. Call only after all
+    recording threads are done. *)
+val events : 'a t -> 'a event list
+
+val length : 'a t -> int
+val clear : 'a t -> unit
+
+val pp_op : (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a op -> unit
+val pp_event :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a event -> unit
+
+(** [Instrument (P) (S)] is stack [S] with every operation recorded into an
+    embedded history, timestamped by [P]'s clock. *)
+module Instrument (_ : Sec_prim.Prim_intf.S) (S : Stack_intf.S) : sig
+  type 'a instrumented = { stack : 'a S.t; history : 'a t }
+
+  val name : string
+  val create : ?max_threads:int -> unit -> 'a instrumented
+  val push : 'a instrumented -> tid:int -> 'a -> unit
+  val pop : 'a instrumented -> tid:int -> 'a option
+  val peek : 'a instrumented -> tid:int -> 'a option
+end

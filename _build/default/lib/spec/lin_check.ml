@@ -1,0 +1,111 @@
+(* Linearizability checker for stack histories, after Wing & Gong's
+   algorithm with the memoisation of Lowe ("Testing for linearizability").
+
+   Search state: the set of not-yet-linearized operations plus the abstract
+   stack contents. At each step any operation [o] whose invocation does not
+   follow the response of another remaining operation may be linearized
+   next, provided the abstract stack accepts it. Memoising on
+   (remaining-set, stack) prunes the exponential blow-up enough for the
+   history sizes the test suite uses (up to a few hundred operations over a
+   handful of threads). *)
+
+type result = Linearizable | Not_linearizable | Gave_up
+
+type 'a cell = {
+  op : 'a History.op;
+  inv : int64;
+  resp : int64;
+}
+
+(* Apply [op] to the abstract LIFO state; [None] if the outcome recorded in
+   the history is impossible from this state. *)
+let apply op state =
+  match (op, state) with
+  | History.Push v, s -> Some (v :: s)
+  | History.Pop None, [] -> Some []
+  | History.Pop None, _ :: _ -> None
+  | History.Pop (Some v), top :: rest when top = v -> Some rest
+  | History.Pop (Some _), _ -> None
+  | History.Peek None, [] -> Some []
+  | History.Peek None, _ :: _ -> None
+  | History.Peek (Some v), top :: _ when top = v -> Some state
+  | History.Peek (Some _), _ -> None
+
+(* Remaining-set as a bitset over operation indices, encoded into bytes so
+   it can key a hashtable together with the abstract state. *)
+module Bitset = struct
+  let create n = Bytes.make ((n + 7) / 8) '\xff'
+
+  let full_mask n b =
+    (* Clear the padding bits above [n] so keys are canonical. *)
+    let last = n mod 8 in
+    if last <> 0 then begin
+      let i = Bytes.length b - 1 in
+      Bytes.set b i (Char.chr (Char.code (Bytes.get b i) land ((1 lsl last) - 1)))
+    end;
+    b
+
+  let mem b i = Char.code (Bytes.get b (i / 8)) land (1 lsl (i mod 8)) <> 0
+
+  let remove b i =
+    let b = Bytes.copy b in
+    Bytes.set b (i / 8)
+      (Char.chr (Char.code (Bytes.get b (i / 8)) land lnot (1 lsl (i mod 8))));
+    b
+
+  let is_empty b =
+    let rec go i = i >= Bytes.length b || (Bytes.get b i = '\x00' && go (i + 1)) in
+    go 0
+end
+
+exception Too_hard
+
+let check ?(max_states = 2_000_000) ?(init = []) events =
+  let cells =
+    Array.of_list
+      (List.map
+         (fun (e : 'a History.event) -> { op = e.op; inv = e.inv; resp = e.resp })
+         events)
+  in
+  let n = Array.length cells in
+  if n = 0 then Linearizable
+  else begin
+    let seen : (Bytes.t * 'a list, unit) Hashtbl.t = Hashtbl.create 4096 in
+    let states = ref 0 in
+    let rec search remaining stack =
+      if Bitset.is_empty remaining then true
+      else if Hashtbl.mem seen (remaining, stack) then false
+      else begin
+        incr states;
+        if !states > max_states then raise Too_hard;
+        Hashtbl.add seen (remaining, stack) ();
+        (* Earliest unfinished response bounds which ops can go first. *)
+        let min_resp = ref Int64.max_int in
+        for i = 0 to n - 1 do
+          if Bitset.mem remaining i && Int64.compare cells.(i).resp !min_resp < 0
+          then min_resp := cells.(i).resp
+        done;
+        let rec try_ops i =
+          if i >= n then false
+          else if
+            Bitset.mem remaining i && Int64.compare cells.(i).inv !min_resp <= 0
+          then
+            match apply cells.(i).op stack with
+            | Some stack' when search (Bitset.remove remaining i) stack' -> true
+            | _ -> try_ops (i + 1)
+          else try_ops (i + 1)
+        in
+        try_ops 0
+      end
+    in
+    let remaining = Bitset.full_mask n (Bitset.create n) in
+    match search remaining init with
+    | true -> Linearizable
+    | false -> Not_linearizable
+    | exception Too_hard -> Gave_up
+  end
+
+let pp_result ppf = function
+  | Linearizable -> Format.pp_print_string ppf "linearizable"
+  | Not_linearizable -> Format.pp_print_string ppf "NOT linearizable"
+  | Gave_up -> Format.pp_print_string ppf "gave up (state bound)"

@@ -1,0 +1,13 @@
+(** Linearizability checking of recorded stack histories against the
+    sequential LIFO specification (Wing–Gong search with memoisation). *)
+
+type result = Linearizable | Not_linearizable | Gave_up
+
+(** [check ?max_states ?init events] decides whether the complete history
+    [events] is linearizable with respect to a stack whose initial
+    contents are [init] (top first). [max_states] bounds the search;
+    exceeding it yields [Gave_up], never a wrong verdict. *)
+val check :
+  ?max_states:int -> ?init:'a list -> 'a History.event list -> result
+
+val pp_result : Format.formatter -> result -> unit

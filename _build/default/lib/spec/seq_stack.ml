@@ -1,0 +1,26 @@
+(* Reference sequential stack. Used as the specification in property tests
+   and by the linearizability checker, and as the data structure protected
+   by the combining executors (FC, CC-Synch). Not thread-safe. *)
+
+type 'a t = { mutable items : 'a list; mutable depth : int }
+
+let create () = { items = []; depth = 0 }
+
+let push t v =
+  t.items <- v :: t.items;
+  t.depth <- t.depth + 1
+
+let pop t =
+  match t.items with
+  | [] -> None
+  | v :: rest ->
+      t.items <- rest;
+      t.depth <- t.depth - 1;
+      Some v
+
+let peek t = match t.items with [] -> None | v :: _ -> Some v
+let length t = t.depth
+let is_empty t = t.items = []
+let to_list t = t.items
+
+let of_list items = { items; depth = List.length items }

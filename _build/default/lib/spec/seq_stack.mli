@@ -1,0 +1,17 @@
+(** Reference sequential stack: the specification that every concurrent
+    implementation must be linearizable against. Not thread-safe. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val push : 'a t -> 'a -> unit
+val pop : 'a t -> 'a option
+val peek : 'a t -> 'a option
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** Top-first list of current contents. *)
+val to_list : 'a t -> 'a list
+
+(** Build from a top-first list. *)
+val of_list : 'a list -> 'a t

@@ -1,0 +1,32 @@
+(* The common interface implemented by every concurrent stack in this
+   repository (SEC and all its competitors), mirroring the paper's API:
+   push, pop, peek over integer-like payloads, with an explicit thread id.
+
+   [tid] identifies the calling thread; it must be in [0, max_threads) and
+   two concurrent calls must never share a tid. The paper's algorithms use
+   it to index per-thread slots (SEC aggregators, EB collision records, FC
+   publication slots, CC-Synch nodes, TSI pools); Treiber ignores it. *)
+
+module type S = sig
+  type 'a t
+
+  (** Short display name used in benchmark reports ("SEC", "TRB", ...). *)
+  val name : string
+
+  (** [create ~max_threads ()] builds an empty stack usable by up to
+      [max_threads] concurrent threads (default 64). *)
+  val create : ?max_threads:int -> unit -> 'a t
+
+  val push : 'a t -> tid:int -> 'a -> unit
+
+  (** [pop t ~tid] removes and returns the top element, or [None] when the
+      stack is (linearizably) empty. *)
+  val pop : 'a t -> tid:int -> 'a option
+
+  (** [peek t ~tid] reads the top element without removing it. *)
+  val peek : 'a t -> tid:int -> 'a option
+end
+
+(** Every implementation is a functor over the execution substrate, so the
+    same code runs on native domains and inside the simulator. *)
+module type MAKER = functor (_ : Sec_prim.Prim_intf.S) -> S

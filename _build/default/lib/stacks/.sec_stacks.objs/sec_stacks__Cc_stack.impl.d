@@ -1,0 +1,1 @@
+lib/stacks/cc_stack.ml: Ccsynch Sec_prim Sec_spec

@@ -1,0 +1,1 @@
+lib/stacks/ccsynch.ml: Array Sec_prim

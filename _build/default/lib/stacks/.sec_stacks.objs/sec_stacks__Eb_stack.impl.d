@@ -1,0 +1,1 @@
+lib/stacks/eb_stack.ml: Array Exchanger Sec_prim Sec_spec

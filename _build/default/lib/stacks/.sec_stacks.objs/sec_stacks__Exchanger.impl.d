@@ -1,0 +1,1 @@
+lib/stacks/exchanger.ml: Int64 Sec_prim

@@ -1,0 +1,1 @@
+lib/stacks/fc.ml: Array Sec_prim

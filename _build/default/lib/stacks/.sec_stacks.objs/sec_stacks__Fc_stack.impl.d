@@ -1,0 +1,1 @@
+lib/stacks/fc_stack.ml: Fc Sec_prim Sec_spec

@@ -1,0 +1,1 @@
+lib/stacks/h_stack.ml: Hsynch Sec_prim Sec_spec

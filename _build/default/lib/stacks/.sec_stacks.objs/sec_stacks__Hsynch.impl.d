@@ -1,0 +1,1 @@
+lib/stacks/hsynch.ml: Array Sec_prim

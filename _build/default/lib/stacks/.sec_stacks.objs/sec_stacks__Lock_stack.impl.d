@@ -1,0 +1,1 @@
+lib/stacks/lock_stack.ml: Sec_prim Sec_spec

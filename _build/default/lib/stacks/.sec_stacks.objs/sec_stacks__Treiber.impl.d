@@ -1,0 +1,1 @@
+lib/stacks/treiber.ml: Sec_prim Sec_spec

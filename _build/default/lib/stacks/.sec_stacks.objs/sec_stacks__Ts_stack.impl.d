@@ -1,0 +1,1 @@
+lib/stacks/ts_stack.ml: Array Int64 Sec_prim Sec_spec

@@ -1,0 +1,35 @@
+(* "CC": the sequential stack protected by the CC-Synch combining executor
+   [Fatourou & Kallimanis 2012], as used in the paper's comparison. *)
+
+module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
+  module Ccsynch = Ccsynch.Make (P)
+
+  type 'a op = Push of 'a | Pop | Peek
+  type 'a res = Pushed | Took of 'a option
+
+  type 'a t = ('a op, 'a res) Ccsynch.t
+
+  let name = "CC"
+
+  let create ?(max_threads = 64) () =
+    let items = Sec_spec.Seq_stack.create () in
+    let apply = function
+      | Push v ->
+          Sec_spec.Seq_stack.push items v;
+          Pushed
+      | Pop -> Took (Sec_spec.Seq_stack.pop items)
+      | Peek -> Took (Sec_spec.Seq_stack.peek items)
+    in
+    Ccsynch.create ~max_threads ~apply ()
+
+  let push t ~tid v =
+    match Ccsynch.apply t ~tid (Push v) with
+    | Pushed -> ()
+    | Took _ -> assert false
+
+  let pop t ~tid =
+    match Ccsynch.apply t ~tid Pop with Took r -> r | Pushed -> assert false
+
+  let peek t ~tid =
+    match Ccsynch.apply t ~tid Peek with Took r -> r | Pushed -> assert false
+end

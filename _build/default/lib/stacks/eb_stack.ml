@@ -1,0 +1,124 @@
+(* Elimination-backoff stack [Hendler, Shavit & Yerushalmi 2004] ("EB"):
+   a Treiber stack whose backoff path is an elimination array. A push that
+   loses its CAS offers [Some v] on a random exchanger slot; a pop offers
+   [None]. A push paired with a pop eliminates both; same-type pairings
+   simply retry (each party ignores the received offer and keeps its own
+   operation, so the swap is harmless).
+
+   The slot range adapts per thread, following the original paper's
+   policy: successful eliminations and crowded slots widen the range
+   (spread the load over more cache lines); lonely timeouts shrink it
+   (concentrate so partners actually meet). *)
+
+module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
+  module A = P.Atomic
+  module Exchanger = Exchanger.Make (P)
+
+  type 'a node = Nil | Cons of { value : 'a; next : 'a node }
+
+  type 'a t = {
+    top : 'a node A.t;
+    exchangers : 'a option Exchanger.t array;
+    range : int array; (* per-thread adaptive sub-range, thread-private *)
+    rounds : int array;
+        (* per-thread adaptive backoff: how many elimination attempts to
+           make between two touches of the hot top pointer *)
+    timeout : int;
+  }
+
+  let name = "EB"
+
+  let max_rounds = 64
+
+  let create ?(max_threads = 64) () =
+    let slots = max 1 (max_threads / 2) in
+    {
+      top = A.make_padded Nil;
+      exchangers = Array.init slots (fun _ -> Exchanger.create ());
+      range = Array.make max_threads 1;
+      rounds = Array.make max_threads 1;
+      timeout = 2_000;
+    }
+
+  let widen t tid =
+    if t.range.(tid) < Array.length t.exchangers then
+      t.range.(tid) <- t.range.(tid) + 1
+
+  let shrink t tid = if t.range.(tid) > 1 then t.range.(tid) <- t.range.(tid) / 2
+
+  let try_push t value =
+    let cur = A.get t.top in
+    A.compare_and_set t.top cur (Cons { value; next = cur })
+
+  let visit t tid offer =
+    let slot = t.exchangers.(P.rand_int t.range.(tid)) in
+    Exchanger.exchange slot offer ~timeout:t.timeout
+
+  let adapt t tid = function
+    | Exchanger.Timed_out { crowded = true } -> widen t tid
+    | Exchanger.Timed_out { crowded = false } -> shrink t tid
+    | Exchanger.Exchanged _ -> widen t tid
+
+  (* Failing the top CAS doubles the time spent in the elimination layer
+     before the next touch of the hot line; succeeding resets it. This is
+     the "elimination as backoff" of the original paper — under high
+     contention almost all traffic moves to the (sharded) exchangers. *)
+  let on_top_failure t tid =
+    if t.rounds.(tid) < max_rounds then t.rounds.(tid) <- t.rounds.(tid) * 2
+
+  let on_top_success t tid = t.rounds.(tid) <- 1
+
+  (* Try to eliminate for up to [rounds] exchanger visits; [matches]
+     decides whether a partner's offer completes our operation. *)
+  let eliminate t tid offer ~matches =
+    let rec go remaining =
+      if remaining = 0 then None
+      else begin
+        let outcome = visit t tid offer in
+        adapt t tid outcome;
+        match outcome with
+        | Exchanger.Exchanged theirs when matches theirs -> Some theirs
+        | Exchanger.Exchanged _ | Exchanger.Timed_out _ -> go (remaining - 1)
+      end
+    in
+    go t.rounds.(tid)
+
+  let push t ~tid value =
+    let rec attempt () =
+      if try_push t value then on_top_success t tid
+      else begin
+        on_top_failure t tid;
+        match
+          eliminate t tid (Some value) ~matches:(fun o -> o = None)
+        with
+        | Some _ -> () (* met a pop: eliminated *)
+        | None -> attempt ()
+      end
+    in
+    attempt ()
+
+  let pop t ~tid =
+    let rec attempt () =
+      match A.get t.top with
+      | Nil -> None
+      | Cons { value; next } as cur ->
+          if A.compare_and_set t.top cur next then begin
+            on_top_success t tid;
+            Some value
+          end
+          else begin
+            on_top_failure t tid;
+            match
+              eliminate t tid None
+                ~matches:(fun o -> match o with Some _ -> true | None -> false)
+            with
+            | Some (Some v) -> Some v (* met a push *)
+            | Some None -> assert false
+            | None -> attempt ()
+          end
+    in
+    attempt ()
+
+  let peek t ~tid:_ =
+    match A.get t.top with Nil -> None | Cons { value; _ } -> Some value
+end

@@ -1,0 +1,83 @@
+(* Lock-free pairwise exchanger (Herlihy & Shavit, ch. 11) — the slot of an
+   elimination array. Two threads that land on the same slot within a
+   timeout window swap their offers; the state machine costs up to three
+   CAS per eliminated pair (install WAITING, claim to BUSY, reset to
+   EMPTY), which is exactly the elimination cost the SEC paper charges the
+   EB stack with.
+
+   A timeout reports whether the slot was *crowded* (other pairs kept it
+   busy) so the caller's range policy can widen instead of funnelling
+   every thread onto one line. *)
+
+module Make (P : Sec_prim.Prim_intf.S) = struct
+  module A = P.Atomic
+
+  type 'a state =
+    | Empty
+    | Waiting of 'a  (* first party's offer *)
+    | Busy of 'a * 'a  (* (first, second): matched, first must reset *)
+
+  type 'a t = { slot : 'a state A.t }
+
+  type 'a outcome =
+    | Exchanged of 'a  (* the partner's offer *)
+    | Timed_out of { crowded : bool }
+
+  let create () = { slot = A.make_padded Empty }
+
+  (* How many pure spins before a waiter starts yielding. Yielding is
+     essential when threads outnumber cores: a spinning waiter would burn
+     its whole scheduling quantum while its would-be partner is
+     descheduled, so the two would never overlap. *)
+  let spin_budget = 64
+
+  (* [exchange t mine ~timeout] blocks at most ~[timeout] clock units. *)
+  let exchange t mine ~timeout =
+    let deadline = Int64.add (P.now_ns ()) (Int64.of_int timeout) in
+    let expired () = Int64.compare (P.now_ns ()) deadline > 0 in
+    let pause spins = if spins > spin_budget then P.yield () else P.relax 8 in
+    let rec attempt spins crowded =
+      match A.get t.slot with
+      | Empty ->
+          let waiting = Waiting mine in
+          if A.compare_and_set t.slot Empty waiting then
+            await waiting spins crowded
+          else if expired () then Timed_out { crowded }
+          else attempt (spins + 1) crowded
+      | Waiting theirs as observed ->
+          if A.compare_and_set t.slot observed (Busy (theirs, mine)) then
+            Exchanged theirs
+          else if expired () then Timed_out { crowded }
+          else attempt (spins + 1) crowded
+      | Busy _ ->
+          (* Slot occupied by another pair. *)
+          if expired () then Timed_out { crowded = true }
+          else begin
+            pause spins;
+            attempt (spins + 1) true
+          end
+    and await waiting spins crowded =
+      (* We installed [waiting]; either a partner upgrades it to [Busy] or
+         we time out and tear it down (the CAS failing means a partner got
+         in at the last moment). *)
+      match A.get t.slot with
+      | Busy (_, theirs) ->
+          A.set t.slot Empty;
+          Exchanged theirs
+      | Empty | Waiting _ ->
+          if expired () then
+            if A.compare_and_set t.slot waiting Empty then Timed_out { crowded }
+            else begin
+              match A.get t.slot with
+              | Busy (_, theirs) ->
+                  A.set t.slot Empty;
+                  Exchanged theirs
+              | Empty | Waiting _ -> assert false
+            end
+          else begin
+            pause spins;
+            await waiting (spins + 1) crowded
+          end
+    in
+    attempt 0 false
+end

@@ -1,0 +1,86 @@
+(* Generic flat-combining executor [Hendler, Incze, Shavit & Tzafrir 2010].
+
+   Threads publish requests into per-thread slots; whoever acquires the
+   global lock becomes the combiner and executes every pending request
+   against the (sequential) protected object, writing results back into the
+   slots. The classic implementation uses a dynamic publication list with
+   aging; with a bounded, known set of threads a flat per-thread slot array
+   is equivalent and simpler, so that is what we use (each slot in its own
+   cache line).
+
+   This module is the substrate for the "FC" stack of the paper's
+   evaluation, and is reusable for any object with a sequential [apply]. *)
+
+module Make (P : Sec_prim.Prim_intf.S) = struct
+  module A = P.Atomic
+  module Backoff = Sec_prim.Backoff.Make (P)
+
+  type ('op, 'res) slot = Idle | Pending of 'op | Done of 'res
+
+  type ('op, 'res) t = {
+    lock : bool A.t;
+    slots : ('op, 'res) slot A.t array;
+    apply : 'op -> 'res;
+    passes : int;
+    combines : int A.t;     (* requests executed on behalf of others *)
+    acquisitions : int A.t; (* times the combiner lock was taken *)
+  }
+
+  let create ?(max_threads = 64) ?(passes = 2) ~apply () =
+    {
+      lock = A.make_padded false;
+      slots = Array.init max_threads (fun _ -> A.make_padded Idle);
+      apply;
+      passes;
+      combines = A.make_padded 0;
+      acquisitions = A.make_padded 0;
+    }
+
+  let try_lock t = not (A.exchange t.lock true)
+  let unlock t = A.set t.lock false
+
+  (* Scanning more than once lets requests that were published while the
+     combiner was already scanning catch the same combining session. *)
+  let combine t =
+    A.incr t.acquisitions;
+    for _ = 1 to t.passes do
+      Array.iter
+        (fun slot ->
+          match A.get slot with
+          | Pending op ->
+              A.set slot (Done (t.apply op));
+              A.incr t.combines
+          | Idle | Done _ -> ())
+        t.slots
+    done
+
+  let apply t ~tid op =
+    let slot = t.slots.(tid) in
+    A.set slot (Pending op);
+    let rec await () =
+      match A.get slot with
+      | Done res ->
+          A.set slot Idle;
+          res
+      | Pending _ ->
+          if try_lock t then begin
+            combine t;
+            unlock t;
+            (* We combined after publishing, so our own request is done. *)
+            await ()
+          end
+          else begin
+            (* Wake when served, or when the lock frees so we can combine. *)
+            Backoff.spin_until (fun () ->
+                (match A.get slot with Done _ -> true | Idle | Pending _ -> false)
+                || not (A.get t.lock));
+            await ()
+          end
+      | Idle -> assert false (* only this thread resets to Idle *)
+    in
+    await ()
+
+  (* Statistics for reports/tests. *)
+  let combined_ops t = A.get t.combines
+  let lock_acquisitions t = A.get t.acquisitions
+end

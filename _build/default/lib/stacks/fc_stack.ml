@@ -1,0 +1,34 @@
+(* "FC": the sequential stack protected by the flat-combining executor —
+   the flat-combining stack of Hendler et al. used in the paper's
+   comparison. All operations, including peek, go through the combiner. *)
+
+module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
+  module Fc = Fc.Make (P)
+
+  type 'a op = Push of 'a | Pop | Peek
+  type 'a res = Pushed | Took of 'a option
+
+  type 'a t = ('a op, 'a res) Fc.t
+
+  let name = "FC"
+
+  let create ?(max_threads = 64) () =
+    let items = Sec_spec.Seq_stack.create () in
+    let apply = function
+      | Push v ->
+          Sec_spec.Seq_stack.push items v;
+          Pushed
+      | Pop -> Took (Sec_spec.Seq_stack.pop items)
+      | Peek -> Took (Sec_spec.Seq_stack.peek items)
+    in
+    Fc.create ~max_threads ~apply ()
+
+  let push t ~tid v =
+    match Fc.apply t ~tid (Push v) with Pushed -> () | Took _ -> assert false
+
+  let pop t ~tid =
+    match Fc.apply t ~tid Pop with Took r -> r | Pushed -> assert false
+
+  let peek t ~tid =
+    match Fc.apply t ~tid Peek with Took r -> r | Pushed -> assert false
+end

@@ -1,0 +1,36 @@
+(* "HS": the sequential stack protected by the hierarchical H-Synch
+   combining executor — an extension baseline (not in the paper's
+   comparison; see Hsynch). *)
+
+module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
+  module Hsynch = Hsynch.Make (P)
+
+  type 'a op = Push of 'a | Pop | Peek
+  type 'a res = Pushed | Took of 'a option
+
+  type 'a t = ('a op, 'a res) Hsynch.t
+
+  let name = "HS"
+
+  let create ?(max_threads = 64) () =
+    let items = Sec_spec.Seq_stack.create () in
+    let apply = function
+      | Push v ->
+          Sec_spec.Seq_stack.push items v;
+          Pushed
+      | Pop -> Took (Sec_spec.Seq_stack.pop items)
+      | Peek -> Took (Sec_spec.Seq_stack.peek items)
+    in
+    Hsynch.create ~max_threads ~apply ()
+
+  let push t ~tid v =
+    match Hsynch.apply t ~tid (Push v) with
+    | Pushed -> ()
+    | Took _ -> assert false
+
+  let pop t ~tid =
+    match Hsynch.apply t ~tid Pop with Took r -> r | Pushed -> assert false
+
+  let peek t ~tid =
+    match Hsynch.apply t ~tid Peek with Took r -> r | Pushed -> assert false
+end

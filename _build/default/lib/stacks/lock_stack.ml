@@ -1,0 +1,48 @@
+(* Coarse-grained baseline ("LCK"): a sequential stack guarded by a
+   test-and-test-and-set spinlock with exponential backoff. Not in the
+   paper's comparison, but useful to calibrate how much the cleverer
+   designs actually buy. *)
+
+module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
+  module A = P.Atomic
+  module Backoff = Sec_prim.Backoff.Make (P)
+
+  type 'a t = { lock : bool A.t; items : 'a Sec_spec.Seq_stack.t }
+
+  let name = "LCK"
+
+  let create ?max_threads:_ () =
+    { lock = A.make_padded false; items = Sec_spec.Seq_stack.create () }
+
+  let acquire t =
+    let backoff = Backoff.create () in
+    let rec attempt () =
+      if A.exchange t.lock true then begin
+        (* Lock taken: spin on reads (cheap, line stays Shared), back off,
+           then retry the exchange. *)
+        Backoff.spin_while (fun () -> A.get t.lock);
+        Backoff.once backoff;
+        attempt ()
+      end
+    in
+    attempt ()
+
+  let release t = A.set t.lock false
+
+  let push t ~tid:_ value =
+    acquire t;
+    Sec_spec.Seq_stack.push t.items value;
+    release t
+
+  let pop t ~tid:_ =
+    acquire t;
+    let r = Sec_spec.Seq_stack.pop t.items in
+    release t;
+    r
+
+  let peek t ~tid:_ =
+    acquire t;
+    let r = Sec_spec.Seq_stack.peek t.items in
+    release t;
+    r
+end

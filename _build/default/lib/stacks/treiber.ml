@@ -1,0 +1,47 @@
+(* Treiber's lock-free stack [Treiber 1986] ("TRB" in the paper): a single
+   atomic [top] pointer updated by CAS, with randomised exponential backoff
+   on contention. The simplest correct concurrent stack, and the yardstick
+   every other implementation is measured against: all its cache traffic
+   concentrates on the one cache line holding [top]. *)
+
+module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
+  module A = P.Atomic
+  module Backoff = Sec_prim.Backoff.Make (P)
+
+  (* Nodes are immutable: a successful CAS is the only communication. *)
+  type 'a node = Nil | Cons of { value : 'a; next : 'a node }
+
+  type 'a t = { top : 'a node A.t }
+
+  let name = "TRB"
+
+  let create ?max_threads:_ () = { top = A.make_padded Nil }
+
+  let push t ~tid:_ value =
+    let backoff = Backoff.create () in
+    let rec attempt () =
+      let cur = A.get t.top in
+      if not (A.compare_and_set t.top cur (Cons { value; next = cur })) then begin
+        Backoff.once backoff;
+        attempt ()
+      end
+    in
+    attempt ()
+
+  let pop t ~tid:_ =
+    let backoff = Backoff.create () in
+    let rec attempt () =
+      match A.get t.top with
+      | Nil -> None
+      | Cons { value; next } as cur ->
+          if A.compare_and_set t.top cur next then Some value
+          else begin
+            Backoff.once backoff;
+            attempt ()
+          end
+    in
+    attempt ()
+
+  let peek t ~tid:_ =
+    match A.get t.top with Nil -> None | Cons { value; _ } -> Some value
+end

@@ -1,0 +1,167 @@
+(* Timestamped stack, interval variant [Dodds, Haas & Kirsch, POPL 2015]
+   ("TSI"). Push inserts into a per-thread single-producer pool and then
+   assigns the node an *interval* timestamp [a, b] obtained by reading the
+   clock twice with a tunable delay in between; unordered (overlapping)
+   intervals license linearizability-preserving reordering, so pushes never
+   touch a shared hot spot. Pop scans all pools for the youngest visible
+   node and claims it by CAS on the node's [taken] flag; a candidate whose
+   interval began after the pop started was pushed concurrently and is
+   taken immediately (built-in elimination). Emptiness requires a second
+   scan observing every pool unchanged.
+
+   The paper's x86 RDTSCP timestamp source is replaced by the substrate
+   clock ({!Sec_prim.Prim_intf.S.now_ns}); see DESIGN.md. Pool cleanup is
+   what the published algorithm does lazily: the owner unlinks taken nodes
+   from the head on its next push. *)
+
+module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
+  module A = P.Atomic
+
+  (* Interval [ts_start, ts_end]; [max_int] until the pusher assigns it,
+     which makes an in-flight node "youngest" (taken-immediately). *)
+  type 'a node = {
+    value : 'a;
+    ts : (int64 * int64) A.t;
+    taken : bool A.t;
+    next : 'a node option A.t;
+  }
+
+  type 'a t = {
+    pools : 'a node option A.t array; (* pool head per thread, padded *)
+    delay : int; (* relax units between the two clock reads *)
+  }
+
+  let name = "TSI"
+
+  let pending = (Int64.max_int, Int64.max_int)
+
+  (* The interval delay trades push latency for elimination: a wider
+     interval overlaps more concurrent pops, which may then take the node
+     immediately instead of scanning every pool. The TS paper tunes this
+     per machine; 400 relax units reproduces its reported trade-off (fast
+     pushes still ~6x a combining stack's, frequent pop elimination). *)
+  let default_delay = 400
+
+  let create ?(max_threads = 64) () =
+    {
+      pools = Array.init max_threads (fun _ -> A.make_padded None);
+      delay = default_delay;
+    }
+
+  (* Owner-only: drop the prefix of taken nodes so scans stay short. *)
+  let trim_head t tid =
+    let rec skip = function
+      | Some n when A.get n.taken -> skip (A.get n.next)
+      | head -> head
+    in
+    let head = A.get t.pools.(tid) in
+    let head' = skip head in
+    if head != head' then A.set t.pools.(tid) head'
+
+  let push t ~tid value =
+    trim_head t tid;
+    let node =
+      {
+        value;
+        ts = A.make pending;
+        taken = A.make false;
+        next = A.make (A.get t.pools.(tid));
+      }
+    in
+    (* Publish first, then timestamp: the interval must cover a moment at
+       which the node was already visible. *)
+    A.set t.pools.(tid) (Some node);
+    let a = P.now_ns () in
+    if t.delay > 0 then P.relax t.delay;
+    let b = P.now_ns () in
+    A.set node.ts (a, b)
+
+  (* First untaken node from the pool head — the pool's youngest. *)
+  let rec youngest = function
+    | None -> None
+    | Some n -> if A.get n.taken then youngest (A.get n.next) else Some n
+
+  (* Any thread may swing a pool head forward past a taken prefix (the TS
+     paper's remove-time unlinking); losing the CAS to the owner's push is
+     harmless — the next scan just skips the prefix again. Without this,
+     pop-heavy workloads would rescan ever-growing chains of taken nodes. *)
+  let pool_youngest t i =
+    let head = A.get t.pools.(i) in
+    let y = youngest head in
+    if head != y then ignore (A.compare_and_set t.pools.(i) head y);
+    (head, y)
+
+  (* [n] is strictly younger than interval [(_, e)] if its interval starts
+     after [e] ends. Overlapping intervals are unordered: either may win. *)
+  let younger (s, _) (_, e') = Int64.compare s e' > 0
+
+  type 'a scan_outcome =
+    | Take_now of 'a node (* pushed during our operation: eliminate *)
+    | Candidate of 'a node
+    | Empty_if of 'a node option array (* heads seen; empty if unchanged *)
+
+  (* Scan all pools starting at the caller's own index, so concurrent
+     pops spread their first probes instead of stampeding pool 0. *)
+  let scan t ~started ~from =
+    let num_pools = Array.length t.pools in
+    let heads = Array.make num_pools None in
+    let best = ref None in
+    let rec loop k =
+      if k >= num_pools then
+        match !best with
+        | Some (n, _) -> Candidate n
+        | None -> Empty_if heads
+      else begin
+        let i = (from + k) mod num_pools in
+        let head, young = pool_youngest t i in
+        heads.(i) <- head;
+        match young with
+        | None -> loop (k + 1)
+        | Some n ->
+            let ts = A.get n.ts in
+            let start_of_interval = fst ts in
+            if Int64.compare start_of_interval started > 0 then Take_now n
+            else begin
+              (match !best with
+              | Some (_, best_ts) when not (younger ts best_ts) -> ()
+              | _ -> best := Some (n, ts));
+              loop (k + 1)
+            end
+      end
+    in
+    loop 0
+
+  let try_take n = A.compare_and_set n.taken false true
+
+  let unchanged t heads =
+    let ok = ref true in
+    Array.iteri
+      (fun i h ->
+        if A.get t.pools.(i) != h || youngest h <> None then ok := false)
+      heads;
+    !ok
+
+  let pop t ~tid =
+    let started = P.now_ns () in
+    let rec attempt () =
+      match scan t ~started ~from:(tid mod Array.length t.pools) with
+      | Take_now n | Candidate n ->
+          if try_take n then Some n.value
+          else begin
+            P.relax 8;
+            attempt ()
+          end
+      | Empty_if heads -> if unchanged t heads then None else attempt ()
+    in
+    attempt ()
+
+  let peek t ~tid =
+    let started = P.now_ns () in
+    let rec attempt () =
+      match scan t ~started ~from:(tid mod Array.length t.pools) with
+      | Take_now n | Candidate n ->
+          if A.get n.taken then attempt () else Some n.value
+      | Empty_if heads -> if unchanged t heads then None else attempt ()
+    in
+    attempt ()
+end

@@ -1,0 +1,1 @@
+test/test_conformance.ml: Alcotest List Sec_core Sec_prim Sec_sim Sec_spec Sec_stacks

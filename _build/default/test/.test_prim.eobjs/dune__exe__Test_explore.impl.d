@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array List Sec_core Sec_sim Sec_spec Sec_stacks String

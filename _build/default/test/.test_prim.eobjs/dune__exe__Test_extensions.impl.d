@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Atomic Domain List QCheck QCheck_alcotest Sec_harness Sec_prim Sec_reclaim Sec_sim Sec_stacks Testkit

@@ -1,0 +1,1 @@
+test/test_funnel.ml: Alcotest Array Domain Int64 List Printf Sec_funnel Sec_prim Sec_sim

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Filename List QCheck QCheck_alcotest Sec_core Sec_harness Sec_prim Sec_sim Sys

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Array Domain Int Int64 List QCheck QCheck_alcotest Sec_core Sec_prim Sec_sim Set

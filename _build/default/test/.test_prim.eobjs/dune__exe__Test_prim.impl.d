@@ -1,0 +1,1 @@
+test/test_prim.ml: Alcotest Array Atomic Domain Gc Int64 List Printf QCheck QCheck_alcotest Sec_prim

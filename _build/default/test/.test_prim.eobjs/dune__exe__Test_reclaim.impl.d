@@ -1,0 +1,1 @@
+test/test_reclaim.ml: Alcotest Domain List Sec_prim Sec_reclaim Sec_sim Stdlib

@@ -1,0 +1,1 @@
+test/test_sec.ml: Alcotest Array Domain Gen Int64 List Printf QCheck QCheck_alcotest Sec_core Sec_prim Sec_spec Testkit

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Effect Gen Int64 List Printf QCheck QCheck_alcotest Sec_core Sec_sim Sec_spec Sec_stacks

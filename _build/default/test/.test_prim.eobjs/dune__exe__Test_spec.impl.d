@@ -1,0 +1,1 @@
+test/test_spec.ml: Alcotest Format Gen Int64 List QCheck QCheck_alcotest Sec_prim Sec_spec

@@ -1,0 +1,1 @@
+test/test_stacks.ml: Alcotest Array Atomic Domain List QCheck QCheck_alcotest Sec_core Sec_prim Sec_stacks Testkit

@@ -1,0 +1,1 @@
+test/testkit.ml: Alcotest Array Buffer Domain Format Int Int64 List Printf QCheck QCheck_alcotest Sec_prim Sec_spec Set

@@ -1,0 +1,229 @@
+(* Tests for the bounded model checker: it must PASS correct code over the
+   whole bounded schedule space, FAIL deliberately broken code with a
+   reproducible schedule, and cope with the blocking SEC machinery. *)
+
+module Explore = Sec_sim.Explore
+module SP = Sec_sim.Sim.Prim
+
+let result_kind = function
+  | Explore.Passed _ -> "passed"
+  | Explore.Failed { kind = Explore.Check_failed; _ } -> "check_failed"
+  | Explore.Failed { kind = Explore.Fiber_raised _; _ } -> "raised"
+  | Explore.Failed { kind = Explore.Livelock; _ } -> "livelock"
+
+(* -------------------------------------------------------------------- *)
+(* A racy read-modify-write: increment as get-then-set. Two fibers, two
+   increments each: some schedule loses an update. *)
+
+let racy_counter_scenario () =
+  let c = SP.Atomic.make 0 in
+  let incr_racy () =
+    for _ = 1 to 2 do
+      let v = SP.Atomic.get c in
+      SP.Atomic.set c (v + 1)
+    done
+  in
+  ([ incr_racy; incr_racy ], fun () -> SP.Atomic.get c = 4)
+
+let test_finds_lost_update () =
+  match Explore.for_all ~max_preemptions:1 racy_counter_scenario with
+  | Explore.Failed { kind = Explore.Check_failed; schedule; _ } ->
+      Alcotest.(check bool) "needs at least one forced preemption" true
+        (List.length schedule >= 1)
+  | other -> Alcotest.failf "expected Check_failed, got %s" (result_kind other)
+
+let test_replay_reproduces () =
+  match Explore.for_all ~max_preemptions:1 racy_counter_scenario with
+  | Explore.Failed { schedule; _ } -> (
+      match Explore.replay ~schedule racy_counter_scenario with
+      | Explore.Ok_run false -> ()
+      | Explore.Ok_run true -> Alcotest.fail "replay did not reproduce"
+      | Explore.Raised m -> Alcotest.failf "replay raised: %s" m
+      | Explore.Livelocked -> Alcotest.fail "replay livelocked")
+  | other -> Alcotest.failf "expected a violation, got %s" (result_kind other)
+
+let test_correct_faa_passes () =
+  let scenario () =
+    let c = SP.Atomic.make 0 in
+    let incr_atomic () =
+      for _ = 1 to 2 do
+        ignore (SP.Atomic.fetch_and_add c 1)
+      done
+    in
+    ([ incr_atomic; incr_atomic ], fun () -> SP.Atomic.get c = 4)
+  in
+  match Explore.for_all ~max_preemptions:2 scenario with
+  | Explore.Passed { schedules; truncated } ->
+      Alcotest.(check bool) "explored more than one schedule" true
+        (schedules > 1);
+      Alcotest.(check bool) "space not truncated" false truncated
+  | other -> Alcotest.failf "expected Passed, got %s" (result_kind other)
+
+(* -------------------------------------------------------------------- *)
+(* A broken "Treiber" whose pop publishes with a plain store instead of a
+   CAS: two concurrent pops can return the same node. *)
+
+let test_finds_broken_pop () =
+  let scenario () =
+    let top = SP.Atomic.make [ 1; 2; 3 ] in
+    let popped = Array.make 2 [] in
+    let bad_pop slot () =
+      match SP.Atomic.get top with
+      | [] -> ()
+      | v :: rest ->
+          SP.Atomic.set top rest (* BUG: should be compare_and_set *);
+          popped.(slot) <- v :: popped.(slot)
+    in
+    ( [ bad_pop 0; bad_pop 1 ],
+      fun () ->
+        (* No value may be popped twice. *)
+        let all = popped.(0) @ popped.(1) in
+        List.length (List.sort_uniq compare all) = List.length all )
+  in
+  match Explore.for_all ~max_preemptions:1 scenario with
+  | Explore.Failed { kind = Explore.Check_failed; _ } -> ()
+  | other -> Alcotest.failf "expected Check_failed, got %s" (result_kind other)
+
+let test_real_treiber_passes () =
+  let module T = Sec_stacks.Treiber.Make (SP) in
+  let scenario () =
+    let s = T.create ~max_threads:2 () in
+    T.push s ~tid:0 100;
+    let popped = Array.make 2 [] in
+    let fiber slot () =
+      T.push s ~tid:slot slot;
+      match T.pop s ~tid:slot with
+      | Some v -> popped.(slot) <- [ v ]
+      | None -> ()
+    in
+    ( [ fiber 0; fiber 1 ],
+      fun () ->
+        let rec drain acc =
+          match T.pop s ~tid:0 with Some v -> drain (v :: acc) | None -> acc
+        in
+        let all = popped.(0) @ popped.(1) @ drain [] in
+        (* Conservation: exactly the three pushed values, each once. *)
+        List.sort compare all = [ 0; 1; 100 ] )
+  in
+  match Explore.for_all ~max_preemptions:2 scenario with
+  | Explore.Passed { schedules; _ } ->
+      Alcotest.(check bool) "dozens of schedules" true (schedules > 10)
+  | other -> Alcotest.failf "expected Passed, got %s" (result_kind other)
+
+(* -------------------------------------------------------------------- *)
+(* SEC under exploration: the full blocking machinery (freezing,
+   elimination, combining) must survive every bounded schedule. *)
+
+let sec_scenario () =
+  let module Sec = Sec_core.Sec_stack.Make (SP) in
+  let s = Sec.create ~max_threads:2 () in
+  Sec.push s ~tid:0 100;
+  let results = Array.make 2 [] in
+  let fiber slot () =
+    Sec.push s ~tid:slot slot;
+    match Sec.pop s ~tid:slot with
+    | Some v -> results.(slot) <- [ v ]
+    | None -> ()
+  in
+  let module Seq = Sec_spec.Seq_stack in
+  ignore (Seq.create ());
+  ( [ fiber 0; fiber 1 ],
+    fun () ->
+      let rec drain acc =
+        match Sec.pop s ~tid:0 with Some v -> drain (v :: acc) | None -> acc
+      in
+      let all = results.(0) @ results.(1) @ drain [] in
+      List.sort compare all = [ 0; 1; 100 ] )
+
+let test_sec_conservation_all_schedules () =
+  match
+    Explore.for_all ~max_preemptions:2 ~quantum:6 ~max_schedules:5_000
+      sec_scenario
+  with
+  | Explore.Passed { schedules; _ } ->
+      Alcotest.(check bool) "thousands of schedules" true (schedules > 1_000)
+  | other -> Alcotest.failf "expected Passed, got %s" (result_kind other)
+
+let test_sec_elimination_all_schedules () =
+  (* A symmetric push/pop pair: across every schedule, the pop returns
+     either the concurrent push or the prefilled value — never None. *)
+  let module Sec = Sec_core.Sec_stack.Make (SP) in
+  let scenario () =
+    let s = Sec.create ~max_threads:2 () in
+    Sec.push s ~tid:0 7;
+    let got = ref (Some (-1)) in
+    ( [
+        (fun () -> Sec.push s ~tid:0 8);
+        (fun () -> got := Sec.pop s ~tid:1);
+      ],
+      fun () -> match !got with Some 7 | Some 8 -> true | _ -> false )
+  in
+  match
+    Explore.for_all ~max_preemptions:1 ~quantum:6 ~max_schedules:5_000 scenario
+  with
+  | Explore.Passed _ -> ()
+  | other -> Alcotest.failf "expected Passed, got %s" (result_kind other)
+
+(* -------------------------------------------------------------------- *)
+(* Pathology detection                                                   *)
+
+let test_livelock_detected () =
+  let scenario () =
+    let flag = SP.Atomic.make false in
+    let spin () =
+      while not (SP.Atomic.get flag) do
+        SP.cpu_relax ()
+      done
+    in
+    ([ spin ], fun () -> true)
+  in
+  match Explore.for_all ~max_steps:1_000 scenario with
+  | Explore.Failed { kind = Explore.Livelock; _ } -> ()
+  | other -> Alcotest.failf "expected Livelock, got %s" (result_kind other)
+
+let test_exception_reported () =
+  let scenario () = ([ (fun () -> failwith "boom") ], fun () -> true) in
+  match Explore.for_all scenario with
+  | Explore.Failed { kind = Explore.Fiber_raised msg; _ } ->
+      Alcotest.(check bool) "message mentions boom" true
+        (String.length msg > 0)
+  | other -> Alcotest.failf "expected Fiber_raised, got %s" (result_kind other)
+
+let test_schedule_count_grows_with_bound () =
+  let count bound =
+    match
+      Explore.for_all ~max_preemptions:bound ~max_schedules:100_000
+        racy_counter_scenario
+    with
+    | Explore.Passed { schedules; _ } -> schedules
+    | Explore.Failed { explored; _ } -> explored
+  in
+  Alcotest.(check int) "zero preemptions = single baseline schedule" 1 (count 0)
+
+let () =
+  Alcotest.run "explore"
+    [
+      ( "bug finding",
+        [
+          Alcotest.test_case "lost update found" `Quick test_finds_lost_update;
+          Alcotest.test_case "violation replays" `Quick test_replay_reproduces;
+          Alcotest.test_case "broken pop found" `Quick test_finds_broken_pop;
+        ] );
+      ( "correct code passes",
+        [
+          Alcotest.test_case "atomic counter" `Quick test_correct_faa_passes;
+          Alcotest.test_case "treiber conservation" `Quick
+            test_real_treiber_passes;
+          Alcotest.test_case "sec conservation" `Slow
+            test_sec_conservation_all_schedules;
+          Alcotest.test_case "sec elimination" `Slow
+            test_sec_elimination_all_schedules;
+        ] );
+      ( "pathologies",
+        [
+          Alcotest.test_case "livelock" `Quick test_livelock_detected;
+          Alcotest.test_case "exception" `Quick test_exception_reported;
+          Alcotest.test_case "bound semantics" `Quick
+            test_schedule_count_grows_with_bound;
+        ] );
+    ]

@@ -1,0 +1,307 @@
+(* Tests for the SEC stack itself: the standard battery plus SEC-specific
+   behaviour — freezing, batch accounting, aggregator sweeps, elimination
+   degree, and pop-beyond-depth semantics. *)
+
+module P = Sec_prim.Native
+module Sec = Sec_core.Sec_stack.Make (P)
+module Config = Sec_core.Config
+module Stats = Sec_core.Sec_stats
+
+let with_aggs ?(stats = false) k =
+  { Config.default with Config.num_aggregators = k; collect_stats = stats }
+
+(* Adapter fixing a configuration, so the generic test kit can drive SEC
+   under any aggregator count. *)
+module Sec_with (C : sig
+  val config : Config.t
+end) : Sec_spec.Stack_intf.S = struct
+  include Sec
+
+  let create ?max_threads () = Sec.create_with ~config:C.config ?max_threads ()
+end
+
+module Sec_agg1 = Sec_with (struct let config = with_aggs 1 end)
+module Sec_agg2 = Sec_with (struct let config = with_aggs 2 end)
+module Sec_agg3 = Sec_with (struct let config = with_aggs 3 end)
+module Sec_agg5 = Sec_with (struct let config = with_aggs 5 end)
+
+(* ------------------------------------------------------------------ *)
+(* Configuration                                                        *)
+
+let test_config_validation () =
+  Alcotest.check_raises "zero aggregators rejected"
+    (Invalid_argument "Sec_core.Config: num_aggregators must be at least 1")
+    (fun () ->
+      ignore (Sec.create_with ~config:(with_aggs 0) ()));
+  Alcotest.check_raises "negative backoff rejected"
+    (Invalid_argument "Sec_core.Config: freeze_backoff must be non-negative")
+    (fun () ->
+      ignore
+        (Sec.create_with
+           ~config:{ Config.default with Config.freeze_backoff = -1 }
+           ()))
+
+let test_config_accessor () =
+  let s = Sec.create_with ~config:(with_aggs 3) () in
+  Alcotest.(check int) "aggregators" 3 (Sec.config s).Config.num_aggregators
+
+(* ------------------------------------------------------------------ *)
+(* Single-thread behaviour through the full batch machinery             *)
+
+let test_depth () =
+  let s = Sec.create () in
+  Alcotest.(check int) "empty depth" 0 (Sec.depth s);
+  for i = 1 to 10 do
+    Sec.push s ~tid:0 i
+  done;
+  Alcotest.(check int) "depth after pushes" 10 (Sec.depth s);
+  ignore (Sec.pop s ~tid:0);
+  ignore (Sec.pop s ~tid:0);
+  Alcotest.(check int) "depth after pops" 8 (Sec.depth s)
+
+let test_pop_beyond_depth () =
+  (* A batch of pops larger than the stack: the excess must see EMPTY. *)
+  let s = Sec.create () in
+  Sec.push s ~tid:0 1;
+  Alcotest.(check (option int)) "first pop" (Some 1) (Sec.pop s ~tid:0);
+  Alcotest.(check (option int)) "second pop empty" None (Sec.pop s ~tid:0);
+  Alcotest.(check (option int)) "third pop empty" None (Sec.pop s ~tid:0)
+
+let test_interleaved_types () =
+  let s = Sec.create () in
+  Sec.push s ~tid:0 1;
+  Sec.push s ~tid:0 2;
+  Alcotest.(check (option int)) "peek reads top" (Some 2) (Sec.peek s ~tid:0);
+  Alcotest.(check (option int)) "pop" (Some 2) (Sec.pop s ~tid:0);
+  Sec.push s ~tid:0 3;
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Sec.pop s ~tid:0);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Sec.pop s ~tid:0)
+
+(* ------------------------------------------------------------------ *)
+(* Batch statistics                                                     *)
+
+let test_stats_single_thread () =
+  (* One thread: every operation forms its own batch of size 1, nothing is
+     eliminated, everything is combined. *)
+  let s = Sec.create_with ~config:(with_aggs ~stats:true 1) () in
+  for i = 1 to 50 do
+    Sec.push s ~tid:0 i
+  done;
+  for _ = 1 to 50 do
+    ignore (Sec.pop s ~tid:0)
+  done;
+  let st = Sec.stats s in
+  Alcotest.(check int) "one batch per op" 100 st.Stats.batches;
+  Alcotest.(check int) "ops accounted" 100 st.Stats.operations;
+  Alcotest.(check int) "nothing eliminated" 0 st.Stats.eliminated;
+  Alcotest.(check int) "everything combined" 100 st.Stats.combined;
+  Alcotest.(check (float 0.001)) "batching degree 1" 1.0
+    (Stats.batching_degree st)
+
+let test_stats_accounting_invariant () =
+  (* Under concurrency: eliminated + combined = operations, and all
+     operations that completed are accounted for in some batch. *)
+  let threads = 4 and ops = 2_000 in
+  let s =
+    Sec.create_with ~config:(with_aggs ~stats:true 2) ~max_threads:threads ()
+  in
+  let body tid () =
+    let rng = Sec_prim.Rng.create (Int64.of_int (tid + 1)) in
+    for i = 1 to ops do
+      if Sec_prim.Rng.int rng 2 = 0 then Sec.push s ~tid i
+      else ignore (Sec.pop s ~tid)
+    done
+  in
+  let ds = List.init (threads - 1) (fun i -> Domain.spawn (body (i + 1))) in
+  body 0 ();
+  List.iter Domain.join ds;
+  let st = Sec.stats s in
+  Alcotest.(check int) "eliminated + combined = operations"
+    st.Stats.operations
+    (st.Stats.eliminated + st.Stats.combined);
+  Alcotest.(check int) "all completed ops belong to a batch"
+    (threads * ops) st.Stats.operations;
+  Alcotest.(check bool) "eliminated count is even" true
+    (st.Stats.eliminated mod 2 = 0)
+
+let test_stats_elimination_under_symmetry () =
+  (* Balanced concurrent pushes and pops with a freezer backoff must
+     achieve a non-trivial elimination degree. *)
+  let threads = 4 and ops = 4_000 in
+  let s =
+    Sec.create_with
+      ~config:{ (with_aggs ~stats:true 1) with Config.freeze_backoff = 256 }
+      ~max_threads:threads ()
+  in
+  let body tid () =
+    for i = 1 to ops do
+      if tid mod 2 = 0 then Sec.push s ~tid i else ignore (Sec.pop s ~tid)
+    done
+  in
+  let ds = List.init (threads - 1) (fun i -> Domain.spawn (body (i + 1))) in
+  body 0 ();
+  List.iter Domain.join ds;
+  let st = Sec.stats s in
+  Alcotest.(check bool)
+    (Printf.sprintf "some elimination happened (%.1f%%)"
+       (Stats.pct_eliminated st))
+    true
+    (st.Stats.eliminated > 0)
+
+let test_stats_helpers () =
+  let st =
+    { Stats.batches = 4; operations = 40; eliminated = 30; combined = 10;
+      excluded = 0 }
+  in
+  Alcotest.(check (float 1e-6)) "batching degree" 10. (Stats.batching_degree st);
+  Alcotest.(check (float 1e-6)) "pct eliminated" 75. (Stats.pct_eliminated st);
+  Alcotest.(check (float 1e-6)) "pct combined" 25. (Stats.pct_combined st);
+  Alcotest.(check (float 1e-6)) "empty degree" 0.
+    (Stats.batching_degree Stats.empty)
+
+(* ------------------------------------------------------------------ *)
+(* Push-only / pop-only batches under concurrency                       *)
+
+let test_push_only_parallel () =
+  let threads = 4 and ops = 2_000 in
+  let s = Sec.create ~max_threads:threads () in
+  let body tid () =
+    for i = 1 to ops do
+      Sec.push s ~tid (Testkit.tag ~tid i)
+    done
+  in
+  let ds = List.init (threads - 1) (fun i -> Domain.spawn (body (i + 1))) in
+  body 0 ();
+  List.iter Domain.join ds;
+  Alcotest.(check int) "all nodes present" (threads * ops) (Sec.depth s)
+
+let test_pop_only_parallel () =
+  let threads = 4 and prefill = 5_000 in
+  let s = Sec.create ~max_threads:threads () in
+  for i = 1 to prefill do
+    Sec.push s ~tid:0 i
+  done;
+  let counts = Array.make threads 0 in
+  let body tid () =
+    let continue = ref true in
+    while !continue do
+      match Sec.pop s ~tid with
+      | Some _ -> counts.(tid) <- counts.(tid) + 1
+      | None -> continue := false
+    done
+  in
+  let ds = List.init (threads - 1) (fun i -> Domain.spawn (body (i + 1))) in
+  body 0 ();
+  List.iter Domain.join ds;
+  Alcotest.(check int) "every node popped exactly once" prefill
+    (Array.fold_left ( + ) 0 counts);
+  Alcotest.(check int) "stack empty" 0 (Sec.depth s)
+
+(* ------------------------------------------------------------------ *)
+(* Property tests across configurations                                 *)
+
+let qcheck_sequential_any_config =
+  (* Sequential LIFO semantics must hold under every aggregator count and
+     freezer-backoff setting. *)
+  QCheck.Test.make ~name:"SEC: sequential model under any config" ~count:100
+    QCheck.(
+      triple (int_range 1 5) (int_range 0 64) (list_of_size (Gen.int_range 0 40) (option small_int)))
+    (fun (aggs, backoff, ops) ->
+      let config =
+        {
+          Config.default with
+          Config.num_aggregators = aggs;
+          freeze_backoff = backoff;
+        }
+      in
+      let s = Sec.create_with ~config ~max_threads:1 () in
+      let model = Sec_spec.Seq_stack.create () in
+      List.for_all
+        (function
+          | Some v ->
+              Sec.push s ~tid:0 v;
+              Sec_spec.Seq_stack.push model v;
+              true
+          | None ->
+              Sec.pop s ~tid:0 = Sec_spec.Seq_stack.pop model
+              && Sec.peek s ~tid:0 = Sec_spec.Seq_stack.peek model)
+        ops)
+
+let qcheck_stats_percentages =
+  (* However the counters land, the derived percentages are consistent. *)
+  QCheck.Test.make ~name:"SEC stats: percentages sum to 100" ~count:200
+    QCheck.(pair (int_range 1 1000) (int_range 0 1000))
+    (fun (ops, elim_pairs) ->
+      let eliminated = min ops (2 * elim_pairs) in
+      let eliminated = eliminated - (eliminated mod 2) in
+      let st =
+        {
+          Stats.batches = 1;
+          operations = ops;
+          eliminated;
+          combined = ops - eliminated;
+          excluded = 0;
+        }
+      in
+      abs_float (Stats.pct_eliminated st +. Stats.pct_combined st -. 100.)
+      < 1e-9)
+
+let test_tid_to_aggregator_coverage () =
+  (* Every aggregator must receive traffic when tids cover [0, K). *)
+  for aggs = 1 to 5 do
+    let s =
+      Sec.create_with ~config:(with_aggs ~stats:true aggs) ~max_threads:8 ()
+    in
+    for tid = 0 to 7 do
+      Sec.push s ~tid tid
+    done;
+    Alcotest.(check int)
+      (Printf.sprintf "%d aggregators hold all pushes" aggs)
+      8 (Sec.depth s)
+  done
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "sec"
+    [
+      ("standard (2 aggregators)", Testkit.standard_suite (module Sec_agg2));
+      ("standard (1 aggregator)", Testkit.standard_suite (module Sec_agg1));
+      ( "standard (3 aggregators)",
+        Testkit.standard_suite ~threads:6 (module Sec_agg3) );
+      ( "standard (5 aggregators)",
+        Testkit.standard_suite ~threads:5 (module Sec_agg5) );
+      ( "config",
+        [
+          Alcotest.test_case "validation" `Quick test_config_validation;
+          Alcotest.test_case "accessor" `Quick test_config_accessor;
+        ] );
+      ( "single thread",
+        [
+          Alcotest.test_case "depth" `Quick test_depth;
+          Alcotest.test_case "pop beyond depth" `Quick test_pop_beyond_depth;
+          Alcotest.test_case "interleaved types" `Quick test_interleaved_types;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "single thread batches" `Quick
+            test_stats_single_thread;
+          Alcotest.test_case "accounting invariant" `Quick
+            test_stats_accounting_invariant;
+          Alcotest.test_case "elimination under symmetry" `Quick
+            test_stats_elimination_under_symmetry;
+          Alcotest.test_case "helpers" `Quick test_stats_helpers;
+        ] );
+      ( "homogeneous workloads",
+        [
+          Alcotest.test_case "parallel push-only" `Quick test_push_only_parallel;
+          Alcotest.test_case "parallel pop-only" `Quick test_pop_only_parallel;
+        ] );
+      ( "properties",
+        [
+          QCheck_alcotest.to_alcotest qcheck_sequential_any_config;
+          QCheck_alcotest.to_alcotest qcheck_stats_percentages;
+          Alcotest.test_case "aggregator coverage" `Quick
+            test_tid_to_aggregator_coverage;
+        ] );
+    ]

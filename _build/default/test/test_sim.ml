@@ -1,0 +1,457 @@
+(* Tests for the discrete-event simulator: cost model, scheduling,
+   determinism, virtual-time parallelism — and the concurrent stacks
+   running inside it at thread counts this host cannot reach natively. *)
+
+module Topology = Sec_sim.Topology
+module Cache = Sec_sim.Cache_model
+module Sim = Sec_sim.Sim
+module SP = Sim.Prim
+
+(* ------------------------------------------------------------------ *)
+(* Cache model                                                          *)
+
+let costs = Topology.default_costs
+
+let test_cache_read_costs () =
+  let c = Cache.create Topology.testbox in
+  let loc = Cache.new_line c ~core:7 ~socket:1 in
+  (* The creator owns the line: its reads are L1 hits. *)
+  let creator = Cache.access c ~core:7 ~socket:1 ~loc ~now:100 Cache.Read in
+  Alcotest.(check int) "creator reads own line" (100 + costs.Topology.l1_hit)
+    creator;
+  (* First read from the other socket: a remote transfer. *)
+  let first = Cache.access c ~core:0 ~socket:0 ~loc ~now:200 Cache.Read in
+  Alcotest.(check int) "cross-socket first read"
+    (200 + costs.Topology.remote_transfer)
+    first;
+  (* Re-read: now cached in our socket. *)
+  let again = Cache.access c ~core:0 ~socket:0 ~loc ~now:500 Cache.Read in
+  Alcotest.(check int) "shared re-read" (500 + costs.Topology.shared_hit) again
+
+let test_cache_write_invalidates () =
+  let c = Cache.create Topology.testbox in
+  let loc = Cache.new_line c ~core:0 ~socket:0 in
+  ignore (Cache.access c ~core:0 ~socket:0 ~loc ~now:0 Cache.Read);
+  ignore (Cache.access c ~core:4 ~socket:1 ~loc ~now:0 Cache.Read);
+  (* A write from socket 0 must pay to invalidate socket 1's copy. *)
+  let w = Cache.access c ~core:0 ~socket:0 ~loc ~now:1_000 Cache.Write in
+  Alcotest.(check bool) "write pays invalidation" true
+    (w
+    >= 1_000 + costs.Topology.local_transfer
+       + costs.Topology.invalidate_per_socket);
+  (* Writer now owns the line exclusively. *)
+  let own = Cache.access c ~core:0 ~socket:0 ~loc ~now:2_000 Cache.Write in
+  Alcotest.(check int) "exclusive rewrite" (2_000 + costs.Topology.l1_hit) own
+
+let test_cache_rmw_premium () =
+  let c = Cache.create Topology.testbox in
+  let loc = Cache.new_line c ~core:0 ~socket:0 in
+  let owned_rmw = Cache.access c ~core:0 ~socket:0 ~loc ~now:0 Cache.Rmw in
+  Alcotest.(check int) "owned RMW = l1 + premium"
+    (costs.Topology.l1_hit + costs.Topology.rmw_extra)
+    owned_rmw
+
+let test_cache_line_serializes () =
+  (* Two RMW misses issued at the same instant must queue: the second
+     finishes a full transfer after the first. This is the property that
+     makes a hot CAS cell a sequential bottleneck. *)
+  let c = Cache.create Topology.testbox in
+  let loc = Cache.new_line c ~core:9 ~socket:1 in
+  let e1 = Cache.access c ~core:0 ~socket:0 ~loc ~now:0 Cache.Rmw in
+  let e2 = Cache.access c ~core:1 ~socket:0 ~loc ~now:0 Cache.Rmw in
+  let e3 = Cache.access c ~core:2 ~socket:0 ~loc ~now:0 Cache.Rmw in
+  Alcotest.(check bool) "second queues behind first" true (e2 >= e1 + 1);
+  Alcotest.(check bool) "third queues behind second" true (e3 >= e2 + 1);
+  (* A hit on an unrelated line does not queue. *)
+  let loc2 = Cache.new_line c ~core:0 ~socket:0 in
+  let h = Cache.access c ~core:0 ~socket:0 ~loc:loc2 ~now:0 Cache.Read in
+  Alcotest.(check int) "independent line is free" costs.Topology.l1_hit h
+
+let test_cache_ping_pong_traffic () =
+  (* Alternating RMWs from two sockets: every access is a transfer. *)
+  let c = Cache.create Topology.testbox in
+  let loc = Cache.new_line c ~core:9 ~socket:1 in
+  let now = ref 0 in
+  for _ = 1 to 10 do
+    now := Cache.access c ~core:0 ~socket:0 ~loc ~now:!now Cache.Rmw;
+    now := Cache.access c ~core:4 ~socket:1 ~loc ~now:!now Cache.Rmw
+  done;
+  let t = Cache.traffic c in
+  Alcotest.(check bool) "transfers counted" true (t.Cache.transfers >= 19);
+  Alcotest.(check bool) "remote transfers counted" true
+    (t.Cache.remote_transfers >= 18)
+
+let qcheck_cache_model_invariants =
+  (* Random access sequences: end times never precede start times by less
+     than an L1 hit, per-line busy times are monotone, traffic counters
+     never decrease. *)
+  QCheck.Test.make ~name:"cache model invariants" ~count:200
+    QCheck.(
+      list_of_size (Gen.int_range 1 60)
+        (triple (int_range 0 7) (int_range 0 3) (int_range 0 2)))
+    (fun accesses ->
+      let c = Cache.create Topology.testbox in
+      let locs = Array.init 4 (fun i -> Cache.new_line c ~core:i ~socket:(i / 2)) in
+      let now = ref 0 in
+      let prev_transfers = ref 0 in
+      List.for_all
+        (fun (core, loc_idx, k) ->
+          let kind =
+            match k with 0 -> Cache.Read | 1 -> Cache.Write | _ -> Cache.Rmw
+          in
+          let socket = core / 4 in
+          let finish =
+            Cache.access c ~core ~socket ~loc:locs.(loc_idx) ~now:!now kind
+          in
+          let ok =
+            finish >= !now + costs.Topology.l1_hit
+            && (Cache.traffic c).Cache.transfers >= !prev_transfers
+          in
+          prev_transfers := (Cache.traffic c).Cache.transfers;
+          now := finish;
+          ok)
+        accesses)
+
+let test_smt_siblings_share_cache () =
+  (* Two SMT siblings hammering one line finish much sooner than two
+     threads on different sockets, because they share a core's cache. *)
+  let makespan fid_a fid_b =
+    let (), stats =
+      Sim.run ~topology:Topology.emerald (fun () ->
+          let shared = SP.Atomic.make 0 in
+          let top = max fid_a fid_b in
+          for fid = 0 to top do
+            Sim.spawn (fun () ->
+                if fid = fid_a || fid = fid_b then
+                  for _ = 1 to 300 do
+                    ignore (SP.Atomic.fetch_and_add shared 1)
+                  done)
+          done;
+          Sim.await_all ())
+    in
+    stats.Sim.elapsed_cycles
+  in
+  (* Thread 28 is thread 0's SMT sibling; thread 14 is on socket 1. *)
+  let siblings = makespan 0 28 and cross_socket = makespan 0 14 in
+  Alcotest.(check bool)
+    (Printf.sprintf "siblings %d < cross-socket %d cycles" siblings
+       cross_socket)
+    true
+    (siblings * 2 < cross_socket)
+
+(* ------------------------------------------------------------------ *)
+(* Topology                                                             *)
+
+let test_topology_placement () =
+  Alcotest.(check int) "emerald size" 56 (Topology.max_threads Topology.emerald);
+  Alcotest.(check int) "icelake size" 96 (Topology.max_threads Topology.icelake);
+  Alcotest.(check int) "sapphire size" 192
+    (Topology.max_threads Topology.sapphire);
+  Alcotest.(check int) "socket of thread 0" 0
+    (Topology.socket_of Topology.emerald 0);
+  Alcotest.(check int) "socket of thread 13" 0
+    (Topology.socket_of Topology.emerald 13);
+  Alcotest.(check int) "socket of thread 14" 1
+    (Topology.socket_of Topology.emerald 14);
+  (* Thread 28 is the SMT sibling of thread 0: same core, same socket. *)
+  Alcotest.(check int) "SMT sibling core" (Topology.core_of Topology.emerald 0)
+    (Topology.core_of Topology.emerald 28);
+  Alcotest.(check int) "SMT sibling socket" 0
+    (Topology.socket_of Topology.emerald 28);
+  Alcotest.check_raises "beyond capacity"
+    (Invalid_argument "topology emerald supports 56 hardware threads")
+    (fun () -> ignore (Topology.socket_of Topology.emerald 56))
+
+let test_topology_by_name () =
+  Alcotest.(check string) "lookup" "icelake" (Topology.by_name "icelake").Topology.name;
+  Alcotest.check_raises "unknown" (Invalid_argument "unknown topology: mars")
+    (fun () -> ignore (Topology.by_name "mars"))
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler basics                                                     *)
+
+let test_sim_counter_faa () =
+  let n = 8 and per_fiber = 100 in
+  let (total, stats) =
+    Sim.run ~topology:Topology.testbox (fun () ->
+        let c = SP.Atomic.make 0 in
+        for _ = 1 to n do
+          Sim.spawn (fun () ->
+              for _ = 1 to per_fiber do
+                ignore (SP.Atomic.fetch_and_add c 1)
+              done)
+        done;
+        Sim.await_all ();
+        SP.Atomic.get c)
+  in
+  Alcotest.(check int) "no lost increments" (n * per_fiber) total;
+  Alcotest.(check int) "fibers" n stats.Sim.fibers;
+  Alcotest.(check bool) "time advanced" true (stats.Sim.elapsed_cycles > 0)
+
+let test_sim_determinism () =
+  let run seed =
+    Sim.run ~seed ~jitter:60 ~topology:Topology.testbox (fun () ->
+        let c = SP.Atomic.make 0 in
+        let log = ref [] in
+        for _ = 1 to 4 do
+          Sim.spawn (fun () ->
+              for _ = 1 to 50 do
+                let v = SP.Atomic.fetch_and_add c 1 in
+                if v mod 17 = 0 then log := (Sim.fiber_id (), v) :: !log
+              done)
+        done;
+        Sim.await_all ();
+        !log)
+  in
+  let l1, s1 = run 11 and l2, s2 = run 11 in
+  Alcotest.(check bool) "same seed, same interleaving" true (l1 = l2);
+  Alcotest.(check int) "same seed, same makespan" s1.Sim.elapsed_cycles
+    s2.Sim.elapsed_cycles;
+  let l3, _ = run 12 in
+  Alcotest.(check bool) "different seed, different interleaving" true (l1 <> l3)
+
+let test_sim_parallelism_in_virtual_time () =
+  (* Independent lines scale; a contended line serializes. *)
+  let work contended =
+    let (), stats =
+      Sim.run ~topology:Topology.emerald (fun () ->
+          let shared = SP.Atomic.make 0 in
+          for _ = 1 to 8 do
+            Sim.spawn (fun () ->
+                let mine = if contended then shared else SP.Atomic.make 0 in
+                for _ = 1 to 500 do
+                  ignore (SP.Atomic.fetch_and_add mine 1)
+                done)
+          done;
+          Sim.await_all ())
+    in
+    stats.Sim.elapsed_cycles
+  in
+  let independent = work false and contended = work true in
+  Alcotest.(check bool)
+    (Printf.sprintf "contention serializes (%d vs %d cycles)" contended
+       independent)
+    true
+    (contended > 3 * independent)
+
+let test_sim_numa_penalty () =
+  (* The same contended workload costs more when fibers span sockets. *)
+  let makespan fibers =
+    let (), stats =
+      Sim.run ~topology:Topology.emerald (fun () ->
+          let shared = SP.Atomic.make 0 in
+          for _ = 1 to fibers do
+            Sim.spawn (fun () ->
+                for _ = 1 to 300 do
+                  ignore (SP.Atomic.fetch_and_add shared 1)
+                done)
+          done;
+          Sim.await_all ());
+    in
+    (stats.Sim.elapsed_cycles, stats.Sim.traffic.Cache.remote_transfers)
+  in
+  let _, remote_single = makespan 8 in
+  let _, remote_spanning = makespan 40 in
+  Alcotest.(check int) "one socket: no remote traffic" 0 remote_single;
+  Alcotest.(check bool) "two sockets: remote traffic" true (remote_spanning > 0)
+
+let test_sim_spawn_limit () =
+  Alcotest.check_raises "too many fibers"
+    (Invalid_argument "topology testbox supports 8 hardware threads")
+    (fun () ->
+      ignore
+        (Sim.run ~topology:Topology.testbox (fun () ->
+             for _ = 1 to 9 do
+               Sim.spawn (fun () -> ())
+             done;
+             Sim.await_all ())))
+
+let test_sim_prim_outside_run () =
+  match SP.Atomic.make 0 with
+  | _ -> Alcotest.fail "expected Effect.Unhandled outside Sim.run"
+  | exception Effect.Unhandled _ -> ()
+
+let test_sim_spawn_inherits_time () =
+  (* A worker's clock starts at its spawner's time: work done by main
+     before spawning is on the critical path. *)
+  let first_worker_start, _ =
+    Sim.run ~topology:Topology.testbox (fun () ->
+        SP.relax 5_000;
+        let seen = ref 0L in
+        Sim.spawn (fun () -> seen := SP.now_ns ());
+        Sim.await_all ();
+        !seen)
+  in
+  Alcotest.(check bool) "worker starts after spawner's work" true
+    (Int64.compare first_worker_start 5_000L >= 0)
+
+let test_sim_await_without_workers () =
+  let v, stats = Sim.run ~topology:Topology.testbox (fun () ->
+      Sim.await_all ();
+      99)
+  in
+  Alcotest.(check int) "await with no workers returns" 99 v;
+  Alcotest.(check int) "no fibers" 0 stats.Sim.fibers
+
+let test_sim_sequential_runs_independent () =
+  (* Two runs back to back must not share state (fresh cache, fresh ids). *)
+  let go () =
+    Sim.run ~topology:Topology.testbox (fun () ->
+        let c = SP.Atomic.make 0 in
+        for _ = 1 to 4 do
+          Sim.spawn (fun () -> SP.Atomic.incr c)
+        done;
+        Sim.await_all ();
+        SP.Atomic.get c)
+  in
+  let a, sa = go () in
+  let b, sb = go () in
+  Alcotest.(check int) "same result" a b;
+  Alcotest.(check int) "same makespan" sa.Sim.elapsed_cycles sb.Sim.elapsed_cycles
+
+let test_sim_relax_advances_clock () =
+  let t, _ =
+    Sim.run ~topology:Topology.testbox (fun () ->
+        let a = SP.now_ns () in
+        SP.relax 1000;
+        let b = SP.now_ns () in
+        Int64.to_int (Int64.sub b a))
+  in
+  Alcotest.(check bool) "relax 1000 >= 1000 cycles" true (t >= 1000)
+
+(* ------------------------------------------------------------------ *)
+(* Stacks inside the simulator, at paper-scale thread counts            *)
+
+module type STACK = Sec_spec.Stack_intf.S
+
+let sim_conservation (module S : STACK) ~threads ~ops () =
+  let pushed_minus_popped, _ =
+    Sim.run ~topology:Topology.emerald (fun () ->
+        let s = S.create ~max_threads:threads () in
+        let pushed = Array.make threads 0 and popped = Array.make threads 0 in
+        for _ = 1 to threads do
+          Sim.spawn (fun () ->
+              let tid = Sim.fiber_id () in
+              for i = 1 to ops do
+                if SP.rand_int 2 = 0 then begin
+                  S.push s ~tid ((tid * 1_000_000) + i);
+                  pushed.(tid) <- pushed.(tid) + 1
+                end
+                else
+                  match S.pop s ~tid with
+                  | Some _ -> popped.(tid) <- popped.(tid) + 1
+                  | None -> ()
+              done)
+        done;
+        Sim.await_all ();
+        (* Drain sequentially as a fresh fiber would; main can use tid 0. *)
+        let rec drain n =
+          match S.pop s ~tid:0 with Some _ -> drain (n + 1) | None -> n
+        in
+        let remaining = drain 0 in
+        Array.fold_left ( + ) 0 pushed - Array.fold_left ( + ) 0 popped - remaining)
+  in
+  Alcotest.(check int) "pushed = popped + remaining" 0 pushed_minus_popped
+
+module SimTreiber = Sec_stacks.Treiber.Make (SP)
+module SimEb = Sec_stacks.Eb_stack.Make (SP)
+module SimFc = Sec_stacks.Fc_stack.Make (SP)
+module SimCc = Sec_stacks.Cc_stack.Make (SP)
+module SimTs = Sec_stacks.Ts_stack.Make (SP)
+module SimSec = Sec_core.Sec_stack.Make (SP)
+
+let sim_linearizability (module S : STACK) ?(threads = 5) ?(ops = 8)
+    ?(seeds = 8) () =
+  let module I = Sec_spec.History.Instrument (SP) (S) in
+  for seed = 1 to seeds do
+    let events, _ =
+      Sim.run ~seed ~jitter:40 ~topology:Topology.testbox (fun () ->
+          let t = I.create ~max_threads:threads () in
+          for _ = 1 to threads do
+            Sim.spawn (fun () ->
+                let tid = Sim.fiber_id () in
+                for i = 1 to ops do
+                  match SP.rand_int 5 with
+                  | 0 | 1 -> I.push t ~tid ((tid * 1_000_000) + i)
+                  | 2 | 3 -> ignore (I.pop t ~tid)
+                  | _ -> ignore (I.peek t ~tid)
+                done)
+          done;
+          Sim.await_all ();
+          Sec_spec.History.events t.I.history)
+    in
+    match Sec_spec.Lin_check.check events with
+    | Sec_spec.Lin_check.Linearizable -> ()
+    | Sec_spec.Lin_check.Gave_up ->
+        Printf.eprintf "[%s] sim lin check gave up (seed %d)\n%!" S.name seed
+    | Sec_spec.Lin_check.Not_linearizable ->
+        Alcotest.failf "%s: seed %d produced a non-linearizable history" S.name
+          seed
+  done
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "cache model",
+        [
+          Alcotest.test_case "read costs" `Quick test_cache_read_costs;
+          Alcotest.test_case "write invalidates" `Quick
+            test_cache_write_invalidates;
+          Alcotest.test_case "rmw premium" `Quick test_cache_rmw_premium;
+          Alcotest.test_case "line serializes" `Quick
+            test_cache_line_serializes;
+          Alcotest.test_case "ping-pong traffic" `Quick
+            test_cache_ping_pong_traffic;
+          Alcotest.test_case "smt siblings share cache" `Quick
+            test_smt_siblings_share_cache;
+          QCheck_alcotest.to_alcotest qcheck_cache_model_invariants;
+        ] );
+      ( "topology",
+        [
+          Alcotest.test_case "placement" `Quick test_topology_placement;
+          Alcotest.test_case "by name" `Quick test_topology_by_name;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "shared counter" `Quick test_sim_counter_faa;
+          Alcotest.test_case "determinism" `Quick test_sim_determinism;
+          Alcotest.test_case "virtual-time parallelism" `Quick
+            test_sim_parallelism_in_virtual_time;
+          Alcotest.test_case "numa penalty" `Quick test_sim_numa_penalty;
+          Alcotest.test_case "spawn limit" `Quick test_sim_spawn_limit;
+          Alcotest.test_case "prim outside run" `Quick test_sim_prim_outside_run;
+          Alcotest.test_case "relax advances clock" `Quick
+            test_sim_relax_advances_clock;
+          Alcotest.test_case "spawn inherits time" `Quick
+            test_sim_spawn_inherits_time;
+          Alcotest.test_case "await without workers" `Quick
+            test_sim_await_without_workers;
+          Alcotest.test_case "sequential runs independent" `Quick
+            test_sim_sequential_runs_independent;
+        ] );
+      ( "stacks at 40 fibers",
+        [
+          Alcotest.test_case "treiber conservation" `Quick
+            (sim_conservation (module SimTreiber) ~threads:40 ~ops:100);
+          Alcotest.test_case "eb conservation" `Quick
+            (sim_conservation (module SimEb) ~threads:40 ~ops:100);
+          Alcotest.test_case "fc conservation" `Quick
+            (sim_conservation (module SimFc) ~threads:40 ~ops:100);
+          Alcotest.test_case "cc conservation" `Quick
+            (sim_conservation (module SimCc) ~threads:40 ~ops:100);
+          Alcotest.test_case "tsi conservation" `Quick
+            (sim_conservation (module SimTs) ~threads:40 ~ops:100);
+          Alcotest.test_case "sec conservation" `Quick
+            (sim_conservation (module SimSec) ~threads:40 ~ops:100);
+        ] );
+      ( "linearizability under schedule exploration",
+        [
+          Alcotest.test_case "treiber" `Slow
+            (sim_linearizability (module SimTreiber));
+          Alcotest.test_case "eb" `Slow (sim_linearizability (module SimEb));
+          Alcotest.test_case "fc" `Slow (sim_linearizability (module SimFc));
+          Alcotest.test_case "cc" `Slow (sim_linearizability (module SimCc));
+          Alcotest.test_case "tsi" `Slow (sim_linearizability (module SimTs));
+          Alcotest.test_case "sec" `Slow (sim_linearizability (module SimSec));
+        ] );
+    ]

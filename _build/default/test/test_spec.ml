@@ -1,0 +1,316 @@
+(* Tests for the specification layer: the reference sequential stack, the
+   history recorder, and — most importantly — the linearizability checker
+   itself, which the concurrent integration tests lean on. *)
+
+module Seq_stack = Sec_spec.Seq_stack
+module History = Sec_spec.History
+module Lin_check = Sec_spec.Lin_check
+
+let result =
+  Alcotest.testable Lin_check.pp_result (fun a b -> a = b)
+
+(* -------------------------------------------------------------------- *)
+(* Sequential stack                                                      *)
+
+let test_seq_lifo () =
+  let s = Seq_stack.create () in
+  Alcotest.(check (option int)) "empty pop" None (Seq_stack.pop s);
+  Alcotest.(check (option int)) "empty peek" None (Seq_stack.peek s);
+  Seq_stack.push s 1;
+  Seq_stack.push s 2;
+  Seq_stack.push s 3;
+  Alcotest.(check int) "length" 3 (Seq_stack.length s);
+  Alcotest.(check (option int)) "peek top" (Some 3) (Seq_stack.peek s);
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Seq_stack.pop s);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Seq_stack.pop s);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Seq_stack.pop s);
+  Alcotest.(check bool) "empty again" true (Seq_stack.is_empty s)
+
+let test_seq_of_to_list () =
+  let s = Seq_stack.of_list [ 3; 2; 1 ] in
+  Alcotest.(check (list int)) "roundtrip" [ 3; 2; 1 ] (Seq_stack.to_list s);
+  Alcotest.(check (option int)) "top is head" (Some 3) (Seq_stack.peek s)
+
+let qcheck_seq_model =
+  (* The sequential stack must agree with a plain list model on arbitrary
+     op sequences. *)
+  QCheck.Test.make ~name:"seq_stack = list model" ~count:300
+    QCheck.(list (option small_int))
+    (fun ops ->
+      let s = Seq_stack.create () in
+      let model = ref [] in
+      List.for_all
+        (function
+          | Some v ->
+              Seq_stack.push s v;
+              model := v :: !model;
+              true
+          | None -> (
+              let expected =
+                match !model with
+                | [] -> None
+                | v :: rest ->
+                    model := rest;
+                    Some v
+              in
+              Seq_stack.pop s = expected))
+        ops
+      && Seq_stack.to_list s = !model)
+
+(* -------------------------------------------------------------------- *)
+(* History                                                               *)
+
+let test_history_merge_sorted () =
+  let h = History.create ~max_threads:3 in
+  History.add h ~tid:2 (History.Push 1) ~inv:30L ~resp:40L;
+  History.add h ~tid:0 (History.Push 2) ~inv:10L ~resp:20L;
+  History.add h ~tid:1 (History.Pop (Some 2)) ~inv:15L ~resp:35L;
+  let evs = History.events h in
+  Alcotest.(check int) "count" 3 (History.length h);
+  Alcotest.(check (list int)) "sorted by invocation" [ 0; 1; 2 ]
+    (List.map (fun (e : int History.event) -> e.tid) evs);
+  History.clear h;
+  Alcotest.(check int) "cleared" 0 (History.length h)
+
+(* -------------------------------------------------------------------- *)
+(* Linearizability checker                                               *)
+
+let ev tid op inv resp : int History.event = { tid; op; inv; resp }
+
+let test_lin_empty () =
+  Alcotest.check result "empty history" Lin_check.Linearizable (Lin_check.check [])
+
+let test_lin_sequential_ok () =
+  let h =
+    [
+      ev 0 (Push 1) 0L 1L;
+      ev 0 (Push 2) 2L 3L;
+      ev 0 (Pop (Some 2)) 4L 5L;
+      ev 0 (Peek (Some 1)) 6L 7L;
+      ev 0 (Pop (Some 1)) 8L 9L;
+      ev 0 (Pop None) 10L 11L;
+    ]
+  in
+  Alcotest.check result "sequential LIFO run" Lin_check.Linearizable
+    (Lin_check.check h)
+
+let test_lin_sequential_bad_order () =
+  (* Popping in FIFO order is not a stack. *)
+  let h =
+    [
+      ev 0 (Push 1) 0L 1L;
+      ev 0 (Push 2) 2L 3L;
+      ev 0 (Pop (Some 1)) 4L 5L;
+      ev 0 (Pop (Some 2)) 6L 7L;
+    ]
+  in
+  Alcotest.check result "FIFO order rejected" Lin_check.Not_linearizable
+    (Lin_check.check h)
+
+let test_lin_concurrent_reorder_ok () =
+  (* Two concurrent pushes may linearize in either order, so a pop seeing
+     either value is fine. *)
+  let h =
+    [
+      ev 0 (Push 1) 0L 10L;
+      ev 1 (Push 2) 0L 10L;
+      ev 0 (Pop (Some 1)) 20L 30L;
+      ev 1 (Pop (Some 2)) 20L 30L;
+    ]
+  in
+  Alcotest.check result "concurrent pushes reorder" Lin_check.Linearizable
+    (Lin_check.check h)
+
+let test_lin_realtime_violation () =
+  (* Push(1) strictly precedes push(2); popping 1 before 2 violates LIFO
+     given both pops are also strictly ordered. *)
+  let h =
+    [
+      ev 0 (Push 1) 0L 1L;
+      ev 0 (Push 2) 2L 3L;
+      ev 1 (Pop (Some 1)) 10L 11L;
+      ev 1 (Pop (Some 2)) 12L 13L;
+    ]
+  in
+  Alcotest.check result "real-time LIFO violation" Lin_check.Not_linearizable
+    (Lin_check.check h)
+
+let test_lin_lost_value () =
+  (* A pop returning a never-pushed value must be rejected. *)
+  let h = [ ev 0 (Push 1) 0L 1L; ev 1 (Pop (Some 9)) 2L 3L ] in
+  Alcotest.check result "phantom value" Lin_check.Not_linearizable
+    (Lin_check.check h)
+
+let test_lin_duplicate_pop () =
+  let h =
+    [
+      ev 0 (Push 1) 0L 1L;
+      ev 1 (Pop (Some 1)) 2L 3L;
+      ev 2 (Pop (Some 1)) 4L 5L;
+    ]
+  in
+  Alcotest.check result "double pop of same node" Lin_check.Not_linearizable
+    (Lin_check.check h)
+
+let test_lin_empty_pop_overlap () =
+  (* pop()=empty is fine if it can linearize before the concurrent push. *)
+  let h = [ ev 0 (Push 1) 0L 10L; ev 1 (Pop None) 2L 4L ] in
+  Alcotest.check result "empty pop during push" Lin_check.Linearizable
+    (Lin_check.check h)
+
+let test_lin_empty_pop_after_push () =
+  (* pop()=empty strictly after an un-popped push is a violation. *)
+  let h = [ ev 0 (Push 1) 0L 1L; ev 1 (Pop None) 5L 6L ] in
+  Alcotest.check result "empty pop after completed push"
+    Lin_check.Not_linearizable (Lin_check.check h)
+
+let test_lin_peek_violation () =
+  let h =
+    [
+      ev 0 (Push 1) 0L 1L;
+      ev 0 (Push 2) 2L 3L;
+      ev 1 (Peek (Some 1)) 5L 6L;
+    ]
+  in
+  Alcotest.check result "peek must see the top" Lin_check.Not_linearizable
+    (Lin_check.check h)
+
+let test_lin_initial_state () =
+  let h = [ ev 0 (Pop (Some 7)) 0L 1L; ev 0 (Pop None) 2L 3L ] in
+  Alcotest.check result "prefilled stack" Lin_check.Linearizable
+    (Lin_check.check ~init:[ 7 ] h);
+  Alcotest.check result "without prefill it fails" Lin_check.Not_linearizable
+    (Lin_check.check h)
+
+let test_lin_elimination_pair () =
+  (* The SEC linearization of an eliminated pair: push and pop fully
+     concurrent, value flows directly. *)
+  let h =
+    [
+      ev 0 (Push 5) 0L 10L;
+      ev 1 (Pop (Some 5)) 0L 10L;
+      ev 2 (Pop None) 12L 13L;
+    ]
+  in
+  Alcotest.check result "eliminated pair leaves stack empty"
+    Lin_check.Linearizable (Lin_check.check h)
+
+let test_lin_gave_up () =
+  (* Force heavy backtracking: 20 concurrent distinct pushes followed by
+     sequential pops in FIFO order. A linearization exists (pushes in
+     reverse), but depth-first search reaches it last, so a tight state
+     bound must report Gave_up rather than a wrong verdict. *)
+  let n = 20 in
+  let pushes = List.init n (fun i -> ev i (Push (i + 1)) 0L 100L) in
+  let pops =
+    List.init n (fun i ->
+        let t = Int64.of_int (200 + (10 * i)) in
+        ev 0 (Pop (Some (i + 1))) t (Int64.add t 5L))
+  in
+  Alcotest.check result "bounded search gives up, not wrong"
+    Lin_check.Gave_up
+    (Lin_check.check ~max_states:500 (pushes @ pops))
+
+let test_lin_pp () =
+  let to_string pp v = Format.asprintf "%a" pp v in
+  Alcotest.(check string) "result pp" "linearizable"
+    (to_string Lin_check.pp_result Lin_check.Linearizable);
+  let e = ev 3 (Push 7) 5L 9L in
+  Alcotest.(check string) "event pp" "[t3 5..9 push(7)]"
+    (to_string (History.pp_event Format.pp_print_int) e);
+  Alcotest.(check string) "pop pp" "pop()=empty"
+    (to_string (History.pp_op Format.pp_print_int) (History.Pop None))
+
+(* A randomized soundness test: generate a *legal* sequential execution,
+   then fuzz the intervals while preserving the linearization order; the
+   checker must accept. *)
+let qcheck_lin_accepts_legal =
+  let gen = QCheck.(list_of_size (Gen.int_range 1 20) (option small_int)) in
+  QCheck.Test.make ~name:"lin_check accepts legal histories" ~count:100 gen
+    (fun ops ->
+      let model = ref [] in
+      let time = ref 0L in
+      let rng = Sec_prim.Rng.create 42L in
+      let events =
+        List.filteri
+          (fun _ _ -> true)
+          (List.map
+             (fun op ->
+               let t = !time in
+               time := Int64.add t 10L;
+               (* Interval containing its linearization point [t+5]. *)
+               let jitter () = Int64.of_int (Sec_prim.Rng.int rng 5) in
+               let inv = Int64.add t (jitter ()) in
+               let resp = Int64.add (Int64.add t 5L) (jitter ()) in
+               match op with
+               | Some v ->
+                   model := v :: !model;
+                   ev 0 (Push v) inv resp
+               | None ->
+                   let r =
+                     match !model with
+                     | [] -> None
+                     | v :: rest ->
+                         model := rest;
+                         Some v
+                   in
+                   ev 0 (Pop r) inv resp)
+             ops)
+      in
+      Lin_check.check events = Lin_check.Linearizable)
+
+let qcheck_lin_rejects_corrupted =
+  (* Take a legal all-distinct push/pop history and corrupt one pop's value
+     to a fresh value; must be rejected. *)
+  let gen = QCheck.Gen.int_range 2 8 in
+  QCheck.Test.make ~name:"lin_check rejects corrupted pops" ~count:50
+    (QCheck.make gen) (fun n ->
+      let events = ref [] in
+      let t = ref 0L in
+      let emit e = events := e :: !events in
+      for i = 1 to n do
+        emit (ev 0 (Push i) !t (Int64.add !t 1L));
+        t := Int64.add !t 2L
+      done;
+      for i = n downto 1 do
+        let v = if i = 1 then 999 else i in
+        emit (ev 0 (Pop (Some v)) !t (Int64.add !t 1L));
+        t := Int64.add !t 2L
+      done;
+      Lin_check.check (List.rev !events) = Lin_check.Not_linearizable)
+
+let () =
+  Alcotest.run "spec"
+    [
+      ( "seq_stack",
+        [
+          Alcotest.test_case "lifo" `Quick test_seq_lifo;
+          Alcotest.test_case "of/to list" `Quick test_seq_of_to_list;
+          QCheck_alcotest.to_alcotest qcheck_seq_model;
+        ] );
+      ( "history",
+        [ Alcotest.test_case "merge sorted" `Quick test_history_merge_sorted ] );
+      ( "lin_check",
+        [
+          Alcotest.test_case "empty" `Quick test_lin_empty;
+          Alcotest.test_case "sequential ok" `Quick test_lin_sequential_ok;
+          Alcotest.test_case "fifo rejected" `Quick test_lin_sequential_bad_order;
+          Alcotest.test_case "concurrent reorder ok" `Quick
+            test_lin_concurrent_reorder_ok;
+          Alcotest.test_case "real-time violation" `Quick
+            test_lin_realtime_violation;
+          Alcotest.test_case "phantom value" `Quick test_lin_lost_value;
+          Alcotest.test_case "duplicate pop" `Quick test_lin_duplicate_pop;
+          Alcotest.test_case "empty pop overlapping push" `Quick
+            test_lin_empty_pop_overlap;
+          Alcotest.test_case "empty pop after push" `Quick
+            test_lin_empty_pop_after_push;
+          Alcotest.test_case "peek violation" `Quick test_lin_peek_violation;
+          Alcotest.test_case "initial state" `Quick test_lin_initial_state;
+          Alcotest.test_case "elimination pair" `Quick test_lin_elimination_pair;
+          Alcotest.test_case "bounded search gives up" `Quick test_lin_gave_up;
+          Alcotest.test_case "pretty printers" `Quick test_lin_pp;
+          QCheck_alcotest.to_alcotest qcheck_lin_accepts_legal;
+          QCheck_alcotest.to_alcotest qcheck_lin_rejects_corrupted;
+        ] );
+    ]
