@@ -1,0 +1,40 @@
+(* Command-line driver for the discipline lint: walk the given files and
+   directories (recursively, *.ml only), print every diagnostic as
+   file:line:col, exit non-zero if any were found. Wired into the build
+   as [dune build @lint], which [dune runtest] depends on — so a
+   discipline violation fails the tier-1 check. *)
+
+let rec gather path acc =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "sec_lint: no such file or directory: %s\n" path;
+    exit 2
+  end
+  else if Sys.is_directory path then
+    Array.fold_left
+      (fun acc entry -> gather (Filename.concat path entry) acc)
+      acc
+      (let entries = Sys.readdir path in
+       Array.sort compare entries;
+       entries)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if args = [] then begin
+    prerr_endline "usage: sec_lint <file-or-directory>...";
+    exit 2
+  end;
+  let files = List.concat_map (fun p -> List.rev (gather p [])) args in
+  let diagnostics = List.concat_map Sec_lint_rules.Lint_rules.check_file files in
+  List.iter
+    (fun d ->
+      print_endline (Sec_lint_rules.Lint_rules.diagnostic_to_string d))
+    diagnostics;
+  match diagnostics with
+  | [] ->
+      Printf.printf "sec_lint: %d files clean\n" (List.length files);
+      exit 0
+  | ds ->
+      Printf.eprintf "sec_lint: %d diagnostic(s)\n" (List.length ds);
+      exit 1

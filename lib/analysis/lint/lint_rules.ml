@@ -1,0 +1,251 @@
+(* Static enforcement of the repo's shared-memory discipline, over the
+   compiler-libs parsetree. Three rule classes (see docs/ANALYSIS.md):
+
+   1. [mutable-field] — algorithm modules (lib/stacks, lib/core,
+      lib/reclaim, lib/funnel) may not declare [mutable] record fields
+      unless the field carries [@plain_ok "why it is safely published"].
+      The simulator cannot intercept plain loads/stores, so an
+      unannotated mutable field silently invalidates every simulator
+      result and linearizability verdict (lib/prim/prim_intf.ml).
+
+   2. [unpadded-atomic] — in the same modules, an [Atomic.t] stored into
+      a record or array (a long-lived shared block) must be created with
+      [make_padded], or carry [@unpadded_ok "why false sharing is
+      acceptable"] (e.g. short-lived per-operation nodes).
+
+   3. [obj-confinement] — [Obj.*] is confined to lib/prim/padding.ml;
+      everywhere else it can break the GC invariants padding relies on.
+
+   The checker is syntactic by design: it recognises the repo idiom
+   ([module A = P.Atomic], [A.make] / [Atomic.make]) rather than doing
+   type-driven analysis, which keeps it dependency-free and fast enough
+   to run on every build. *)
+
+type diagnostic = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+type scope = {
+  check_discipline : bool;
+      (* rules 1 and 2: algorithm modules written against Prim_intf *)
+  allow_obj : bool; (* rule 3 exemption: lib/prim/padding.ml *)
+}
+
+(* Directories whose modules implement the stack/prim interfaces and are
+   therefore subject to the access-discipline rules. *)
+let discipline_dirs = [ "lib/stacks"; "lib/core"; "lib/reclaim"; "lib/funnel" ]
+
+let scope_of_path path =
+  let path =
+    String.concat "/" (String.split_on_char '\\' path) (* windows-proof *)
+  in
+  let contains_dir dir =
+    (* match ".../lib/stacks/foo.ml" and "lib/stacks/foo.ml" *)
+    let re = dir ^ "/" in
+    let len_p = String.length path and len_r = String.length re in
+    let rec scan i =
+      if i + len_r > len_p then false
+      else if String.sub path i len_r = re then
+        i = 0 || path.[i - 1] = '/'
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  {
+    check_discipline = List.exists contains_dir discipline_dirs;
+    allow_obj =
+      contains_dir "lib/prim" && Filename.basename path = "padding.ml";
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Attribute helpers                                                    *)
+
+open Parsetree
+
+let string_payload (attr : attribute) =
+  match attr.attr_payload with
+  | PStr
+      [
+        {
+          pstr_desc =
+            Pstr_eval
+              ({ pexp_desc = Pexp_constant (Pconst_string (s, _, _)); _ }, _);
+          _;
+        };
+      ] ->
+      Some s
+  | _ -> None
+
+let find_attr name attrs =
+  List.find_opt (fun a -> a.attr_name.Location.txt = name) attrs
+
+let pos_of (loc : Location.t) =
+  let p = loc.Location.loc_start in
+  (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                          *)
+
+let flatten_longident lid = Longident.flatten lid
+
+(* [A.make] / [Atomic.make] / [P.Atomic.make]: the repo idiom for
+   creating an atomic cell on the substrate. *)
+let is_atomic_make lid =
+  match List.rev (flatten_longident lid) with
+  | "make" :: owner :: _ -> owner = "A" || owner = "Atomic"
+  | _ -> false
+
+let is_array_builder lid =
+  match flatten_longident lid with
+  | [ "Array"; ("make" | "init") ] -> true
+  | _ -> false
+
+let check_structure ~file ~scope structure =
+  let diags = ref [] in
+  let add loc rule message =
+    let line, col = pos_of loc in
+    diags := { file; line; col; rule; message } :: !diags
+  in
+
+  (* Rule 1: mutable record fields need [@plain_ok "..."]. *)
+  let check_label (ld : label_declaration) =
+    match ld.pld_mutable with
+    | Asttypes.Immutable -> ()
+    | Asttypes.Mutable -> (
+        match find_attr "plain_ok" ld.pld_attributes with
+        | None ->
+            add ld.pld_loc "mutable-field"
+              (Printf.sprintf
+                 "mutable field '%s' in an algorithm module: shared-memory \
+                  communication must go through Atomic (the simulator cannot \
+                  intercept plain stores); if the field is safely published, \
+                  annotate it [@plain_ok \"how it is published\"]"
+                 ld.pld_name.Location.txt)
+        | Some attr -> (
+            match string_payload attr with
+            | Some arg when String.trim arg <> "" -> ()
+            | Some _ | None ->
+                add ld.pld_loc "mutable-field"
+                  (Printf.sprintf
+                     "[@plain_ok] on mutable field '%s' needs a publication \
+                      argument, e.g. [@plain_ok \"thread-private\"]"
+                     ld.pld_name.Location.txt)))
+  in
+
+  (* Rule 2: [A.make]/[Atomic.make] results stored in records or arrays.
+     [in_shared_block] is true while visiting the arguments of a record
+     literal or an [Array.make]/[Array.init] call. *)
+  let check_unpadded loc =
+    add loc "unpadded-atomic"
+      "Atomic cell stored in a long-lived shared block is created with \
+       'make', not 'make_padded': contended neighbours will false-share a \
+       cache line; use make_padded, or annotate the call [@unpadded_ok \
+       \"why false sharing is acceptable here\"]"
+  in
+
+  (* Rule 3: Obj confinement. *)
+  let check_obj lid loc =
+    match flatten_longident lid with
+    | "Obj" :: _ when not scope.allow_obj ->
+        add loc "obj-confinement"
+          "Obj.* outside lib/prim/padding.ml: unsafe representation \
+           shenanigans are confined there so the GC invariants the padding \
+           relies on are reviewed in one place"
+    | _ -> ()
+  in
+
+  let rec expr ~in_shared_block (e : expression) =
+    let has_unpadded_ok () =
+      match find_attr "unpadded_ok" e.pexp_attributes with
+      | Some attr -> (
+          match string_payload attr with Some s -> String.trim s <> "" | None -> false)
+      | None -> false
+    in
+    match e.pexp_desc with
+    | Pexp_ident { txt; loc } ->
+        check_obj txt loc
+    | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+        check_obj txt loc;
+        (if
+           scope.check_discipline && in_shared_block
+           && is_atomic_make txt
+           && not (has_unpadded_ok ())
+         then check_unpadded e.pexp_loc);
+        let arg_context =
+          (* Entering Array.make/Array.init arguments counts as entering
+             a shared block: the cells live together in one array. *)
+          in_shared_block || is_array_builder txt
+        in
+        List.iter (fun (_, a) -> expr ~in_shared_block:arg_context a) args
+    | Pexp_record (fields, base) ->
+        Option.iter (expr ~in_shared_block) base;
+        List.iter (fun (_, v) -> expr ~in_shared_block:true v) fields
+    | Pexp_array items -> List.iter (expr ~in_shared_block:true) items
+    | _ ->
+        (* Generic descent that preserves the context flag:
+           [default_iterator.expr it e] iterates [e]'s children through
+           [it.expr], i.e. back through this function. *)
+        let it =
+          {
+            Ast_iterator.default_iterator with
+            expr = (fun _ child -> expr ~in_shared_block child);
+            type_declaration = (fun _ td -> type_declaration td);
+          }
+        in
+        Ast_iterator.default_iterator.expr it e
+  and type_declaration (td : type_declaration) =
+    match td.ptype_kind with
+    | Ptype_record labels when scope.check_discipline ->
+        List.iter check_label labels
+    | _ -> ()
+  in
+
+  let iterator =
+    {
+      Ast_iterator.default_iterator with
+      expr = (fun _ e -> expr ~in_shared_block:false e);
+      type_declaration = (fun _ td -> type_declaration td);
+    }
+  in
+  iterator.structure iterator structure;
+  (* Diagnostics in source order. *)
+  List.sort
+    (fun a b -> compare (a.line, a.col, a.rule) (b.line, b.col, b.rule))
+    !diags
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                         *)
+
+let check_lexbuf ~file ~scope lexbuf =
+  Location.init lexbuf file;
+  match Parse.implementation lexbuf with
+  | structure -> check_structure ~file ~scope structure
+  | exception exn ->
+      let loc, msg =
+        match Location.error_of_exn exn with
+        | Some (`Ok e) ->
+            (e.Location.main.Location.loc, "syntax error")
+        | _ -> (Location.none, Printexc.to_string exn)
+      in
+      let line, col = pos_of loc in
+      [ { file; line; col; rule = "parse-error"; message = msg } ]
+
+let check_string ?scope ~filename src =
+  let scope = match scope with Some s -> s | None -> scope_of_path filename in
+  check_lexbuf ~file:filename ~scope (Lexing.from_string src)
+
+let check_file ?scope path =
+  let scope = match scope with Some s -> s | None -> scope_of_path path in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> check_lexbuf ~file:path ~scope (Lexing.from_channel ic))
+
+let pp_diagnostic ppf d =
+  Format.fprintf ppf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
+
+let diagnostic_to_string d = Format.asprintf "%a" pp_diagnostic d

@@ -1,0 +1,40 @@
+(** Static lint for the repo's shared-memory discipline.
+
+    Three rule classes, reported as [file:line:col] diagnostics:
+    - [mutable-field]: no [mutable] record field in algorithm modules
+      without [@plain_ok "publication argument"];
+    - [unpadded-atomic]: atomics stored in long-lived shared blocks
+      (records, arrays) must be [make_padded] or [@unpadded_ok "..."];
+    - [obj-confinement]: [Obj.*] only in [lib/prim/padding.ml].
+
+    Run as [dune build @lint] via [bin/sec_lint]. *)
+
+type diagnostic = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+type scope = {
+  check_discipline : bool;
+      (** apply the mutable-field and unpadded-atomic rules *)
+  allow_obj : bool;  (** exempt from obj-confinement *)
+}
+
+(** Scope inferred from a path: discipline rules apply under
+    [lib/stacks], [lib/core], [lib/reclaim] and [lib/funnel]; [Obj] is
+    allowed only in [lib/prim/padding.ml]. *)
+val scope_of_path : string -> scope
+
+(** Check a source file on disk. [scope] defaults to
+    [scope_of_path path]. *)
+val check_file : ?scope:scope -> string -> diagnostic list
+
+(** Check source text directly (for fixtures and tests); [filename] is
+    used for reporting and the default scope. *)
+val check_string : ?scope:scope -> filename:string -> string -> diagnostic list
+
+val pp_diagnostic : Format.formatter -> diagnostic -> unit
+val diagnostic_to_string : diagnostic -> string

@@ -1,0 +1,77 @@
+(** Vector-clock happens-before tracker over the simulated substrate's
+    atomic-access events.
+
+    The model encodes the repo's access discipline, not OCaml's memory
+    model: [get] acquires, RMWs acquire and release, and a plain [set]
+    releases without acquiring (a blind store). Two plain stores to the
+    same cell that are unordered under this relation are reported as a
+    {e write-write race} — the lost-update / double-release idiom — while
+    CAS-retry loops, lock hand-offs and publication-by-RMW stay clean. A
+    successful CAS whose cell was overwritten at least twice since the
+    fiber last read it is reported separately as an {e ABA hazard}.
+
+    See [docs/ANALYSIS.md] for the full model and its soundness notes. *)
+
+type kind = Write_write_race | Aba_hazard
+
+type hazard = {
+  kind : kind;
+  loc : int;  (** simulator location id of the atomic cell *)
+  fiber_a : int;  (** fiber of the earlier access *)
+  fiber_b : int;  (** fiber whose access triggered the report *)
+  site_a : string;  (** source location ([file:line]) of the earlier access *)
+  site_b : string;  (** source location of the triggering access *)
+  alloc_site : string;  (** where the cell was allocated *)
+}
+
+type t
+
+(** [create ()] makes an empty detector. [max_hazards] bounds the report
+    list (further hazards are counted in {!dropped}); [capture_sites]
+    disables backtrace capture for speed-sensitive sweeps. *)
+val create : ?max_hazards:int -> ?capture_sites:bool -> unit -> t
+
+(** {2 Event feed}
+
+    Called by {!Sec_sim.Sim} / {!Sec_sim.Explore} and the simulated
+    substrate; fibers are identified by their public ids (negative ids
+    denote the main/setup context). *)
+
+val on_make : t -> fiber:int -> loc:int -> unit
+val on_read : t -> fiber:int -> loc:int -> unit
+val on_write : t -> fiber:int -> loc:int -> unit
+val on_rmw : t -> fiber:int -> loc:int -> unit
+val on_cas : t -> fiber:int -> loc:int -> success:bool -> unit
+val on_spawn : t -> parent:int -> child:int -> unit
+val on_exit : t -> fiber:int -> unit
+val on_join : t -> fiber:int -> unit
+
+(** {2 Reports} *)
+
+val hazards : t -> hazard list
+(** All hazards, in detection order. *)
+
+val races : t -> hazard list
+(** Write-write races only — the hard failures. *)
+
+val aba_hazards : t -> hazard list
+(** ABA hazards only — warnings, frequently benign under a GC. *)
+
+val dropped : t -> int
+(** Hazards discarded past [max_hazards]. *)
+
+val pp_hazard : Format.formatter -> hazard -> unit
+val hazard_to_string : hazard -> string
+
+(** {2 Installation}
+
+    The simulated substrate consults [active] on every atomic operation;
+    the schedulers install a detector for the duration of a run. *)
+
+val active : t option ref
+val install : t -> unit
+val uninstall : unit -> unit
+
+(** [with_detector t f] installs [t] around [f], restoring the previous
+    detector afterwards. *)
+val with_detector : t -> (unit -> 'a) -> 'a

@@ -20,7 +20,14 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
   module A = P.Atomic
   module Backoff = Sec_prim.Backoff.Make (P)
 
-  type 'a node = { value : 'a; mutable next : 'a node option }
+  type 'a node = {
+    value : 'a;
+    mutable next : 'a node option;
+        [@plain_ok
+          "linked while the node is still private to one combiner; \
+           published wholesale by the combiner's release CAS on the \
+           backing stack's top"]
+  }
 
   type 'a batch = {
     push_count : int A.t;
@@ -52,10 +59,12 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
       pop_count = A.make_padded 0;
       push_at_freeze = A.make_padded (-1);
       pop_at_freeze = A.make_padded (-1);
-      elimination = Array.init capacity (fun _ -> A.make None);
+      (* Per-thread announcement slots: pad so neighbouring announcers do
+         not false-share (same reasoning as Sec_stack.make_batch). *)
+      elimination = Array.init capacity (fun _ -> A.make_padded None);
       freezer_decided = A.make_padded false;
       batch_applied = A.make_padded false;
-      substack = A.make None;
+      substack = A.make_padded None;
     }
 
   let create ?(aggregators = 2) ?(freeze_backoff = 512) ?(max_threads = 64) ()

@@ -31,7 +31,13 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
   module Backoff = Sec_prim.Backoff.Make (P)
   module Counter = Sec_prim.Striped_counter.Make (P)
 
-  type 'a node = { value : 'a; mutable next : 'a node option }
+  type 'a node = {
+    value : 'a;
+    mutable next : 'a node option;
+        [@plain_ok
+          "linked while the node is still private to one combiner; \
+           published wholesale by the combiner's release CAS on [top]"]
+  }
 
   type 'a batch = {
     push_count : int A.t;
@@ -71,10 +77,13 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
       pop_count = A.make_padded 0;
       push_at_freeze = A.make_padded (-1);
       pop_at_freeze = A.make_padded (-1);
-      elimination = Array.init capacity (fun _ -> A.make None);
+      (* Each elimination slot belongs to a different announcing thread;
+         adjacent unpadded slots would false-share under the paper's
+         hottest path (announce/collect). *)
+      elimination = Array.init capacity (fun _ -> A.make_padded None);
       freezer_decided = A.make_padded false;
       batch_applied = A.make_padded false;
-      substack = A.make None;
+      substack = A.make_padded None;
     }
 
   let create_with ~config ?(max_threads = 64) () =

@@ -24,9 +24,12 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
 
   type slot = {
     announce : int A.t; (* epoch the thread is reading under, or -1 *)
-    mutable limbo : retired list; (* thread-private *)
+    mutable limbo : retired list;
+        [@plain_ok "thread-private: only the owning thread's slot is touched"]
     mutable retire_count : int;
+        [@plain_ok "thread-private: only the owning thread's slot is touched"]
     mutable reclaimed : int;
+        [@plain_ok "thread-private: only the owning thread's slot is touched"]
   }
 
   type t = {

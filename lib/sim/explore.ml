@@ -16,15 +16,36 @@
    the scenario from scratch (the generator re-creates all state and
    per-fiber RNGs are reseeded, so replay is deterministic).
 
+   Two placement-harvesting strategies exist (see {!strategy}):
+
+   - [`Exhaustive] (the historical behaviour) branches at every step at
+     which another fiber was runnable;
+   - [`Dpor] harvests dynamic-partial-order-reduction style (Flanagan &
+     Godefroid 2005, as in dejafu): a branch is added only at steps whose
+     access *conflicts* with a later access of another fiber (same
+     location, at least one write). Preemptions between independent
+     accesses commute into an already-explored schedule, so pruning them
+     visits the same behaviours in far fewer runs. With lookahead limited
+     to the observed trace this is an approximation of source-DPOR: it
+     prunes aggressively and keeps every conflict-driven branch, which in
+     practice preserves the bug-finding power of the bounded search.
+
+   Optionally every run is monitored by a {!Sec_analysis.Race_detector};
+   a schedule that exhibits a write-write race fails with the offending
+   source locations even if the scenario's own check passes.
+
    Like {!Sim}, the engine interprets the effects of {!Sim_effects}; there
    is no cost model here — only interleavings matter. *)
 
 type placement = { step : int; fiber : int }
 
+type strategy = [ `Exhaustive | `Dpor ]
+
 type violation_kind =
   | Check_failed  (** the scenario's final check returned false *)
   | Fiber_raised of string  (** a fiber or the check raised *)
   | Livelock  (** a schedule exceeded the per-run step budget *)
+  | Race_detected of string  (** the race detector flagged this schedule *)
 
 type violation = {
   kind : violation_kind;
@@ -48,6 +69,7 @@ let pp_result ppf = function
         | Check_failed -> "check failed"
         | Fiber_raised msg -> "raised: " ^ msg
         | Livelock -> "livelock"
+        | Race_detected msg -> "race: " ^ msg
       in
       Format.fprintf ppf "FAILED after %d schedules (%s) at preemptions [%s]"
         explored kind_str
@@ -56,6 +78,24 @@ let pp_result ppf = function
               (fun p -> Printf.sprintf "step %d -> fiber %d" p.step p.fiber)
               schedule))
 
+(* A violation's schedule as a compact string ("step:fiber;step:fiber"),
+   so tests and bug reports can pin a reproduction. *)
+let schedule_to_string schedule =
+  String.concat ";"
+    (List.map (fun p -> Printf.sprintf "%d:%d" p.step p.fiber) schedule)
+
+let schedule_of_string s =
+  if String.trim s = "" then []
+  else
+    String.split_on_char ';' s
+    |> List.map (fun item ->
+           match String.split_on_char ':' (String.trim item) with
+           | [ step; fiber ] -> (
+               match (int_of_string_opt step, int_of_string_opt fiber) with
+               | Some step, Some fiber -> { step; fiber }
+               | _ -> invalid_arg ("Explore.schedule_of_string: " ^ item))
+           | _ -> invalid_arg ("Explore.schedule_of_string: " ^ item))
+
 (* ------------------------------------------------------------------ *)
 (* One schedule                                                         *)
 
@@ -63,6 +103,12 @@ type fiber_state =
   | Start of (unit -> unit)
   | Paused of (unit -> unit) (* resumes the captured continuation *)
   | Done
+
+(* Last accesses per location, for [`Dpor] conflict harvesting. *)
+type loc_accesses = {
+  mutable last_write : (int * int) option; (* fiber, step *)
+  reads : (int, int) Hashtbl.t; (* fiber -> step of its last read *)
+}
 
 type run_ctx = {
   mutable fibers : fiber_state array;
@@ -76,12 +122,16 @@ type run_ctx = {
   max_steps : int;
   mutable livelocked : bool;
   (* Extension points for the DFS: steps (past the last forced one) at
-     which another fiber was runnable, with the alternatives. *)
+     which the search should branch, with the alternative fibers. *)
   mutable extensions : (int * int list) list; (* reversed *)
+  mutable extension_count : int;
   collect_from : int;
   collecting : bool;
   max_extensions : int;
   mutable extensions_truncated : bool;
+  strategy : strategy;
+  accesses : (int, loc_accesses) Hashtbl.t; (* loc -> last accesses *)
+  branched : (int * int, unit) Hashtbl.t; (* dedup of (step, fiber) *)
   setup_rng : Sec_prim.Rng.t; (* for effects outside any fiber *)
 }
 
@@ -107,6 +157,51 @@ let next_runnable ctx =
   in
   scan 1
 
+let add_extension ctx step fiber =
+  if
+    step > ctx.collect_from
+    && not (Hashtbl.mem ctx.branched (step, fiber))
+  then
+    if ctx.extension_count < ctx.max_extensions then begin
+      Hashtbl.add ctx.branched (step, fiber) ();
+      ctx.extensions <- (step, [ fiber ]) :: ctx.extensions;
+      ctx.extension_count <- ctx.extension_count + 1
+    end
+    else ctx.extensions_truncated <- true
+
+(* [`Dpor]: the access (current fiber, loc, kind) about to execute at
+   [ctx.step] conflicts with earlier accesses of other fibers to the same
+   location (at least one side a write). For the most recent conflicting
+   access of each kind, request a branch that runs *this* fiber right
+   before it — reversing the order of the conflicting pair. Independent
+   accesses harvest nothing: preempting between them commutes into a
+   schedule the DFS already covers. *)
+let harvest_conflicts ctx ~loc ~kind =
+  let f = ctx.current in
+  let acc =
+    match Hashtbl.find_opt ctx.accesses loc with
+    | Some a -> a
+    | None ->
+        let a = { last_write = None; reads = Hashtbl.create 4 } in
+        Hashtbl.add ctx.accesses loc a;
+        a
+  in
+  (match acc.last_write with
+  | Some (w, s) when w <> f -> add_extension ctx s f
+  | _ -> ());
+  (match kind with
+  | Cache_model.Read -> ()
+  | Cache_model.Write | Cache_model.Rmw ->
+      Hashtbl.iter (fun r s -> if r <> f then add_extension ctx s f) acc.reads);
+  (* Update the tables with this access. *)
+  match kind with
+  | Cache_model.Read -> Hashtbl.replace acc.reads f ctx.step
+  | Cache_model.Write | Cache_model.Rmw ->
+      acc.last_write <- Some (f, ctx.step);
+      (* Reads before this write are now ordered behind it for future
+         conflicts through [last_write]; drop them to keep pairs fresh. *)
+      Hashtbl.reset acc.reads
+
 (* Tail-call discipline as in {!Sim}: every branch ends in [continue],
    [run_fiber], [dispatch] or a plain return unwinding to the driver. *)
 let rec dispatch ctx fiber =
@@ -131,10 +226,10 @@ and run_fiber ctx fiber body =
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
-          | Sim_effects.Access (_, _) ->
+          | Sim_effects.Access (loc, kind) ->
               Some
                 (fun (k : (a, _) continuation) ->
-                  at_access ctx (fun () -> continue k ()))
+                  at_access ctx ~loc ~kind (fun () -> continue k ()))
           | Sim_effects.Relax _ -> Some (fun k -> continue k ())
           | Sim_effects.Yield ->
               Some
@@ -173,7 +268,7 @@ and run_fiber ctx fiber body =
 
 (* The heart: a scheduling point just before an atomic access. [resume]
    continues the suspended access. *)
-and at_access ctx (resume : unit -> unit) =
+and at_access ctx ~loc ~kind (resume : unit -> unit) =
   ctx.step <- ctx.step + 1;
   if ctx.step > ctx.max_steps then begin
     ctx.livelocked <- true
@@ -189,13 +284,23 @@ and at_access ctx (resume : unit -> unit) =
     in
     (* Record branching opportunities for the DFS — only past the last
        forced preemption, so every schedule is generated exactly once. *)
-    (if ctx.collecting && forced = None && ctx.step > ctx.collect_from then
-       match runnable_others ctx with
-       | [] -> ()
-       | alts ->
-           if List.length ctx.extensions < ctx.max_extensions then
-             ctx.extensions <- (ctx.step, alts) :: ctx.extensions
-           else ctx.extensions_truncated <- true);
+    (if ctx.collecting then
+       match ctx.strategy with
+       | `Dpor ->
+           (* Conflict harvesting must see every access (the tables feed
+              later conflicts), including forced ones. *)
+           harvest_conflicts ctx ~loc ~kind
+       | `Exhaustive ->
+           if forced = None && ctx.step > ctx.collect_from then (
+             match runnable_others ctx with
+             | [] -> ()
+             | alts ->
+                 if ctx.extension_count < ctx.max_extensions then begin
+                   ctx.extensions <- (ctx.step, alts) :: ctx.extensions;
+                   ctx.extension_count <-
+                     ctx.extension_count + List.length alts
+                 end
+                 else ctx.extensions_truncated <- true));
     match forced with
     | Some f -> (
         match ctx.fibers.(f) with
@@ -243,7 +348,22 @@ let run_one ctx scenario =
     ctx.rngs <-
       Array.init (Array.length ctx.fibers) (fun i ->
           Sec_prim.Rng.create (Int64.of_int (1_000 + i)));
+    (* Setup-to-fiber happens-before edges for the race detector: the
+       scenario's state was built by the setup context (fiber -1). *)
+    (match !Sec_analysis.Race_detector.active with
+    | Some d ->
+        Array.iteri
+          (fun i _ -> Sec_analysis.Race_detector.on_spawn d ~parent:(-1) ~child:i)
+          ctx.fibers
+    | None -> ());
     dispatch ctx 0;
+    (match !Sec_analysis.Race_detector.active with
+    | Some d ->
+        Array.iteri
+          (fun i _ -> Sec_analysis.Race_detector.on_exit d ~fiber:i)
+          ctx.fibers;
+        Sec_analysis.Race_detector.on_join d ~fiber:(-1)
+    | None -> ());
     if ctx.livelocked then outcome := Livelocked
     else outcome := Ok_run (check ())
   in
@@ -277,7 +397,8 @@ let run_one ctx scenario =
    with e -> outcome := Raised (Printexc.to_string e));
   !outcome
 
-let make_ctx ~quantum ~max_steps ~placements ~collecting ~max_extensions =
+let make_ctx ~strategy ~quantum ~max_steps ~placements ~collecting
+    ~max_extensions =
   let collect_from =
     List.fold_left (fun acc (p : placement) -> max acc p.step) 0 placements
   in
@@ -293,17 +414,22 @@ let make_ctx ~quantum ~max_steps ~placements ~collecting ~max_extensions =
     max_steps;
     livelocked = false;
     extensions = [];
+    extension_count = 0;
     collect_from;
     collecting;
     max_extensions;
     extensions_truncated = false;
+    strategy;
+    accesses = Hashtbl.create 64;
+    branched = Hashtbl.create 64;
     setup_rng = Sec_prim.Rng.create 99L;
   }
 
 exception Stop of violation
 
 let for_all ?(max_preemptions = 1) ?(quantum = 8) ?(max_schedules = 20_000)
-    ?(max_steps = 50_000) scenario =
+    ?(max_steps = 50_000) ?(strategy = `Exhaustive) ?(detect_races = false)
+    scenario =
   let explored = ref 0 in
   let truncated = ref false in
   let rec dfs placements =
@@ -312,20 +438,32 @@ let for_all ?(max_preemptions = 1) ?(quantum = 8) ?(max_schedules = 20_000)
       incr explored;
       let collecting = List.length placements < max_preemptions in
       let ctx =
-        make_ctx ~quantum ~max_steps ~placements ~collecting
+        make_ctx ~strategy ~quantum ~max_steps ~placements ~collecting
           ~max_extensions:4_096
       in
-      (match run_one ctx scenario with
-      | Raised msg ->
-          raise (Stop { kind = Fiber_raised msg; schedule = placements;
-                        explored = !explored })
-      | Livelocked ->
-          raise (Stop { kind = Livelock; schedule = placements;
-                        explored = !explored })
-      | Ok_run false ->
-          raise (Stop { kind = Check_failed; schedule = placements;
-                        explored = !explored })
-      | Ok_run true -> ());
+      let outcome, races =
+        if detect_races then begin
+          let d = Sec_analysis.Race_detector.create () in
+          let o =
+            Sec_analysis.Race_detector.with_detector d (fun () ->
+                run_one ctx scenario)
+          in
+          (o, Sec_analysis.Race_detector.races d)
+        end
+        else (run_one ctx scenario, [])
+      in
+      let fail kind =
+        raise (Stop { kind; schedule = placements; explored = !explored })
+      in
+      (match races with
+      | hz :: _ ->
+          fail (Race_detected (Sec_analysis.Race_detector.hazard_to_string hz))
+      | [] -> (
+          match outcome with
+          | Raised msg -> fail (Fiber_raised msg)
+          | Livelocked -> fail Livelock
+          | Ok_run false -> fail Check_failed
+          | Ok_run true -> ()));
       if ctx.extensions_truncated then truncated := true;
       List.iter
         (fun (step, alts) ->
@@ -340,10 +478,15 @@ let for_all ?(max_preemptions = 1) ?(quantum = 8) ?(max_schedules = 20_000)
   | exception Stop v -> Failed v
 
 (* Replay a specific schedule (e.g. a reported violation) once and return
-   the check's verdict — for debugging a failure interactively. *)
-let replay ?(quantum = 8) ?(max_steps = 50_000) ~schedule scenario =
+   the check's verdict — for debugging a failure interactively. With
+   [detector], the run feeds it (install is handled here). *)
+let replay ?(quantum = 8) ?(max_steps = 50_000) ?detector ~schedule scenario =
   let ctx =
-    make_ctx ~quantum ~max_steps ~placements:schedule ~collecting:false
-      ~max_extensions:0
+    make_ctx ~strategy:`Exhaustive ~quantum ~max_steps ~placements:schedule
+      ~collecting:false ~max_extensions:0
   in
-  run_one ctx scenario
+  match detector with
+  | Some d ->
+      Sec_analysis.Race_detector.with_detector d (fun () ->
+          run_one ctx scenario)
+  | None -> run_one ctx scenario

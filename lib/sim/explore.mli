@@ -13,10 +13,22 @@
 
 type placement = { step : int; fiber : int }
 
+(** How branching points are harvested from a run:
+    - [`Exhaustive]: branch at every step at which another fiber was
+      runnable (the historical behaviour — complete within the bound,
+      but most branches commute);
+    - [`Dpor]: dynamic partial-order reduction — branch only at steps
+      whose access conflicts (same location, at least one write) with a
+      later access of another fiber. Far fewer schedules for the same
+      behaviours; see docs/ANALYSIS.md for the model and its limits. *)
+type strategy = [ `Exhaustive | `Dpor ]
+
 type violation_kind =
   | Check_failed  (** the scenario's final check returned false *)
   | Fiber_raised of string  (** a fiber or the check raised *)
   | Livelock  (** a schedule exceeded the per-run step budget *)
+  | Race_detected of string
+      (** the race detector flagged this schedule (with [detect_races]) *)
 
 type violation = {
   kind : violation_kind;
@@ -32,25 +44,41 @@ exception Unsupported of string
 
 val pp_result : Format.formatter -> result -> unit
 
+(** Round-trip a reproducing schedule through a compact
+    ["step:fiber;step:fiber"] string, for pinning violations in bug
+    reports and regression tests. [schedule_of_string] raises
+    [Invalid_argument] on malformed input. *)
+val schedule_to_string : placement list -> string
+
+val schedule_of_string : string -> placement list
+
 (** [for_all scenario] explores schedules depth-first until a violation,
     exhaustion of the bounded space, or [max_schedules] runs ([truncated]
     reports whether any bound cut the space). [scenario ()] must build
     fresh state and return [(fiber_bodies, final_check)]; it runs once
-    per schedule, so it must be deterministic. *)
+    per schedule, so it must be deterministic.
+
+    [detect_races] monitors every run with a fresh
+    {!Sec_analysis.Race_detector}; a write-write race fails the search
+    with {!Race_detected} even when the scenario's check passes. *)
 val for_all :
   ?max_preemptions:int ->
   ?quantum:int ->
   ?max_schedules:int ->
   ?max_steps:int ->
+  ?strategy:strategy ->
+  ?detect_races:bool ->
   (unit -> (unit -> unit) list * (unit -> bool)) ->
   result
 
 type one_outcome = Ok_run of bool | Raised of string | Livelocked
 
-(** Replay one specific schedule (e.g. a reported violation). *)
+(** Replay one specific schedule (e.g. a reported violation). With
+    [detector], the run feeds it; inspect it afterwards. *)
 val replay :
   ?quantum:int ->
   ?max_steps:int ->
+  ?detector:Sec_analysis.Race_detector.t ->
   schedule:placement list ->
   (unit -> (unit -> unit) list * (unit -> bool)) ->
   one_outcome

@@ -107,6 +107,7 @@ type ctx = {
   topo : Topology.t;
   cache : Cache_model.t;
   heap : pending Heap.t;
+  det : Sec_analysis.Race_detector.t option;
   jitter : int;
   sched_rng : Sec_prim.Rng.t;
   mutable next_core : int;
@@ -134,6 +135,9 @@ let rec schedule ctx =
       | Some (f, k) when ctx.live_workers = 0 ->
           ctx.joiner <- None;
           f.time <- max f.time ctx.max_end_time;
+          (match ctx.det with
+          | Some d -> Sec_analysis.Race_detector.on_join d ~fiber:f.fid
+          | None -> ());
           Effect.Deep.continue k ()
       | Some _ -> raise Deadlock
       | None -> () (* fully drained: unwind to [run] *))
@@ -173,6 +177,9 @@ and run_fiber ctx fiber body =
         (fun () ->
           ctx.max_end_time <- max ctx.max_end_time fiber.time;
           if not fiber.is_main then ctx.live_workers <- ctx.live_workers - 1;
+          (match ctx.det with
+          | Some d -> Sec_analysis.Race_detector.on_exit d ~fiber:fiber.fid
+          | None -> ());
           schedule ctx);
       exnc = raise;
       effc =
@@ -219,12 +226,23 @@ and run_fiber ctx fiber body =
                     }
                   in
                   ctx.live_workers <- ctx.live_workers + 1;
+                  (match ctx.det with
+                  | Some d ->
+                      Sec_analysis.Race_detector.on_spawn d ~parent:fiber.fid
+                        ~child:fid
+                  | None -> ());
                   Heap.push ctx.heap worker.time worker.fid (Start (worker, body));
                   continue k ())
           | Await_all ->
               Some
                 (fun k ->
-                  if ctx.live_workers = 0 then continue k ()
+                  if ctx.live_workers = 0 then begin
+                    (match ctx.det with
+                    | Some d ->
+                        Sec_analysis.Race_detector.on_join d ~fiber:fiber.fid
+                    | None -> ());
+                    continue k ()
+                  end
                   else begin
                     ctx.joiner <- Some (fiber, k);
                     schedule ctx
@@ -235,12 +253,13 @@ and run_fiber ctx fiber body =
 (* ------------------------------------------------------------------ *)
 (* Public API                                                           *)
 
-let run ?(seed = 42) ?(jitter = 0) ~topology f =
+let run ?(seed = 42) ?(jitter = 0) ?detector ~topology f =
   let ctx =
     {
       topo = topology;
       cache = Cache_model.create topology;
       heap = Heap.create ();
+      det = detector;
       jitter;
       sched_rng = Sec_prim.Rng.create (Int64.of_int seed);
       next_core = 0;
@@ -261,7 +280,10 @@ let run ?(seed = 42) ?(jitter = 0) ~topology f =
       is_main = true;
     }
   in
-  run_fiber ctx main (fun () -> result := Some (f ()));
+  let start () = run_fiber ctx main (fun () -> result := Some (f ())) in
+  (match detector with
+  | Some d -> Sec_analysis.Race_detector.with_detector d start
+  | None -> start ());
   match !result with
   | None -> raise Deadlock
   | Some r ->

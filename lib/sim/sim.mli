@@ -19,8 +19,19 @@ type stats = {
 (** [run ~topology f] executes [f] as the main fiber of a fresh simulated
     machine and returns its result plus run statistics. Deterministic for
     a fixed [seed]; [jitter > 0] adds seeded random delays (up to that
-    many cycles) to every access, perturbing interleavings. *)
-val run : ?seed:int -> ?jitter:int -> topology:Topology.t -> (unit -> 'a) -> 'a * stats
+    many cycles) to every access, perturbing interleavings.
+
+    When [detector] is given it is installed for the duration of the run:
+    every atomic access feeds its happens-before tracker, and spawn /
+    exit / join edges are recorded. Inspect it afterwards with
+    {!Sec_analysis.Race_detector.races}. *)
+val run :
+  ?seed:int ->
+  ?jitter:int ->
+  ?detector:Sec_analysis.Race_detector.t ->
+  topology:Topology.t ->
+  (unit -> 'a) ->
+  'a * stats
 
 (** Spawn a worker fiber on the next hardware thread (compact placement).
     Must be called inside {!run}; raises past the topology's thread count. *)

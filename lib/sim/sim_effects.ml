@@ -2,7 +2,13 @@
    simulated threads: {!Sim} (discrete-event, cost-charging) and
    {!Explore} (systematic schedule enumeration) both install handlers for
    these effects; {!Prim} is the {!Sec_prim.Prim_intf.S} implementation
-   that performs them, so the same algorithm code runs under either. *)
+   that performs them, so the same algorithm code runs under either.
+
+   When a {!Sec_analysis.Race_detector} is installed, every atomic
+   operation additionally reports a (fiber, location, kind) event to it.
+   The fiber id is obtained with the non-scheduling [Fiber_id] effect, so
+   the events work identically under both schedulers; with no detector
+   installed the cost is a single ref read per operation. *)
 
 type _ Effect.t +=
   | New_loc : int Effect.t
@@ -16,6 +22,23 @@ type _ Effect.t +=
   | Await_all : unit Effect.t
   | Fiber_id : int Effect.t
 
+module Detect = struct
+  type event = Make | Read | Write | Rmw | Cas of bool
+
+  let notify loc event =
+    match !Sec_analysis.Race_detector.active with
+    | None -> ()
+    | Some d -> (
+        let fiber = Effect.perform Fiber_id in
+        let open Sec_analysis.Race_detector in
+        match event with
+        | Make -> on_make d ~fiber ~loc
+        | Read -> on_read d ~fiber ~loc
+        | Write -> on_write d ~fiber ~loc
+        | Rmw -> on_rmw d ~fiber ~loc
+        | Cas success -> on_cas d ~fiber ~loc ~success)
+end
+
 module Prim : Sec_prim.Prim_intf.S = struct
   module Atomic = struct
     type 'a t = { loc : int; mutable v : 'a }
@@ -23,19 +46,26 @@ module Prim : Sec_prim.Prim_intf.S = struct
     (* Whichever scheduler handles these effects runs exactly one fiber at
        a time, so after the effect accounts for the access we can act on
        [v] directly. *)
-    let make v = { loc = Effect.perform New_loc; v }
+    let make v =
+      let loc = Effect.perform New_loc in
+      Detect.notify loc Detect.Make;
+      { loc; v }
+
     let make_padded = make (* every simulated cell is its own line *)
 
     let get t =
       Effect.perform (Access (t.loc, Cache_model.Read));
+      Detect.notify t.loc Detect.Read;
       t.v
 
     let set t v =
       Effect.perform (Access (t.loc, Cache_model.Write));
+      Detect.notify t.loc Detect.Write;
       t.v <- v
 
     let exchange t v =
       Effect.perform (Access (t.loc, Cache_model.Rmw));
+      Detect.notify t.loc Detect.Rmw;
       let old = t.v in
       t.v <- v;
       old
@@ -43,7 +73,9 @@ module Prim : Sec_prim.Prim_intf.S = struct
     let compare_and_set t expected desired =
       (* A failing CAS still costs the line transfer. *)
       Effect.perform (Access (t.loc, Cache_model.Rmw));
-      if t.v == expected then begin
+      let success = t.v == expected in
+      Detect.notify t.loc (Detect.Cas success);
+      if success then begin
         t.v <- desired;
         true
       end
@@ -51,6 +83,7 @@ module Prim : Sec_prim.Prim_intf.S = struct
 
     let fetch_and_add t n =
       Effect.perform (Access (t.loc, Cache_model.Rmw));
+      Detect.notify t.loc Detect.Rmw;
       let old = t.v in
       t.v <- old + n;
       old

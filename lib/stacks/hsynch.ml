@@ -15,7 +15,13 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
 
   type ('op, 'res) node = {
     mutable req : 'op option;
+        [@plain_ok
+          "written by the owner before the release store to [next] that \
+           publishes the node to the cluster combiner"]
     mutable res : 'res option;
+        [@plain_ok
+          "written by the combiner before its release store to [wait]; the \
+           owner reads it only after observing [wait = false]"]
     wait : bool A.t;
     completed : bool A.t;
     next : ('op, 'res) node option A.t;
@@ -34,13 +40,15 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     combine_limit : int;
   }
 
+  (* Recycled for the lifetime of the executor; [wait] is spun on by the
+     owner while the combiner writes it — pad every cell (see ccsynch). *)
   let fresh_node () =
     {
       req = None;
       res = None;
-      wait = A.make false;
-      completed = A.make false;
-      next = A.make None;
+      wait = A.make_padded false;
+      completed = A.make_padded false;
+      next = A.make_padded None;
     }
 
   let create ?(max_threads = 64) ?(cluster_size = 28) ?(combine_limit = 1024)

@@ -63,9 +63,17 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
     let node =
       {
         value;
-        ts = A.make pending;
-        taken = A.make false;
-        next = A.make (A.get t.pools.(tid));
+        (* Written once at publication, then only read by scanning
+           poppers; padding every per-push node would be a real
+           allocation-rate regression. *)
+        ts = (A.make pending [@unpadded_ok "written once, then read-only"]);
+        (* [taken] is the CAS-contended cell: pad it so a popper's CAS
+           does not invalidate readers of [ts]/[next] in the same node. *)
+        taken = A.make_padded false;
+        next =
+          (A.make
+             (A.get t.pools.(tid))
+          [@unpadded_ok "written once at creation, then read-only"]);
       }
     in
     (* Publish first, then timestamp: the interval must cover a moment at

@@ -10,6 +10,7 @@ let result_kind = function
   | Explore.Failed { kind = Explore.Check_failed; _ } -> "check_failed"
   | Explore.Failed { kind = Explore.Fiber_raised _; _ } -> "raised"
   | Explore.Failed { kind = Explore.Livelock; _ } -> "livelock"
+  | Explore.Failed { kind = Explore.Race_detected _; _ } -> "race"
 
 (* -------------------------------------------------------------------- *)
 (* A racy read-modify-write: increment as get-then-set. Two fibers, two
@@ -42,6 +43,54 @@ let test_replay_reproduces () =
       | Explore.Livelocked -> Alcotest.fail "replay livelocked")
   | other -> Alcotest.failf "expected a violation, got %s" (result_kind other)
 
+(* A violation's schedule must survive a serialize/parse round-trip and
+   still reproduce the same violation kind when pinned — this is the
+   workflow for committing a reproduction to a bug report. *)
+let test_serialized_replay_reproduces () =
+  match Explore.for_all ~max_preemptions:1 racy_counter_scenario with
+  | Explore.Failed { kind = Explore.Check_failed; schedule; _ } -> (
+      let serialized = Explore.schedule_to_string schedule in
+      let parsed = Explore.schedule_of_string serialized in
+      Alcotest.(check bool) "round-trip preserves the schedule" true
+        (parsed = schedule);
+      (* Pin the parsed schedule: the same violation kind must reproduce
+         deterministically, run after run. *)
+      for _ = 1 to 3 do
+        match Explore.replay ~schedule:parsed racy_counter_scenario with
+        | Explore.Ok_run false -> ()
+        | Explore.Ok_run true ->
+            Alcotest.fail "pinned schedule did not reproduce Check_failed"
+        | Explore.Raised m -> Alcotest.failf "pinned replay raised: %s" m
+        | Explore.Livelocked -> Alcotest.fail "pinned replay livelocked"
+      done)
+  | other -> Alcotest.failf "expected Check_failed, got %s" (result_kind other)
+
+let test_schedule_string_roundtrip () =
+  let open Explore in
+  let s = [ { step = 4; fiber = 1 }; { step = 9; fiber = 0 } ] in
+  Alcotest.(check string) "to_string" "4:1;9:0" (schedule_to_string s);
+  Alcotest.(check bool) "of_string inverts" true
+    (schedule_of_string (schedule_to_string s) = s);
+  Alcotest.(check bool) "empty round-trips" true
+    (schedule_of_string (schedule_to_string []) = []);
+  match schedule_of_string "bogus" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "malformed input must raise"
+
+(* The deliberately racy get-then-set increment must be flagged by the
+   race detector itself (not just by the final check): both fibers store
+   blindly without an ordering acquire between them. *)
+let test_race_detector_flags_racy_scenario () =
+  match
+    Explore.for_all ~max_preemptions:1 ~detect_races:true racy_counter_scenario
+  with
+  | Explore.Failed { kind = Explore.Race_detected msg; schedule; _ } ->
+      Alcotest.(check bool) "report names the race" true
+        (String.length msg > 0);
+      Alcotest.(check bool) "has a reproducing schedule" true
+        (List.length schedule >= 1)
+  | other -> Alcotest.failf "expected Race_detected, got %s" (result_kind other)
+
 let test_correct_faa_passes () =
   let scenario () =
     let c = SP.Atomic.make 0 in
@@ -58,6 +107,53 @@ let test_correct_faa_passes () =
         (schedules > 1);
       Alcotest.(check bool) "space not truncated" false truncated
   | other -> Alcotest.failf "expected Passed, got %s" (result_kind other)
+
+(* -------------------------------------------------------------------- *)
+(* DPOR pruning: conflict-driven branching must find the same seeded bug
+   while visiting measurably fewer schedules than exhaustive branching. *)
+
+let schedules_of = function
+  | Explore.Passed { schedules; _ } -> schedules
+  | Explore.Failed { explored; _ } -> explored
+
+let test_dpor_finds_lost_update () =
+  match
+    Explore.for_all ~max_preemptions:1 ~strategy:`Dpor racy_counter_scenario
+  with
+  | Explore.Failed { kind = Explore.Check_failed; _ } -> ()
+  | other -> Alcotest.failf "expected Check_failed, got %s" (result_kind other)
+
+let test_dpor_visits_fewer_schedules () =
+  (* A correct scenario, so both strategies sweep their whole space. *)
+  let scenario () =
+    let c = SP.Atomic.make 0 in
+    let private_work = SP.Atomic.make 0 in
+    let body () =
+      (* Independent accesses dilute the conflict density, which is
+         exactly where DPOR wins: preemptions placed between accesses to
+         different cells commute and are pruned. *)
+      for _ = 1 to 3 do
+        ignore (SP.Atomic.get private_work)
+      done;
+      ignore (SP.Atomic.fetch_and_add c 1)
+    in
+    ([ body; body ], fun () -> SP.Atomic.get c = 2)
+  in
+  let exhaustive =
+    schedules_of (Explore.for_all ~max_preemptions:2 scenario)
+  in
+  let dpor =
+    schedules_of (Explore.for_all ~max_preemptions:2 ~strategy:`Dpor scenario)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "dpor (%d) < exhaustive (%d)" dpor exhaustive)
+    true
+    (dpor < exhaustive);
+  (* "Measurably": at least 2x fewer on this conflict-sparse scenario. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "dpor (%d) <= exhaustive/2 (%d)" dpor (exhaustive / 2))
+    true
+    (dpor <= exhaustive / 2)
 
 (* -------------------------------------------------------------------- *)
 (* A broken "Treiber" whose pop publishes with a plain store instead of a
@@ -135,6 +231,14 @@ let sec_scenario () =
       let all = results.(0) @ results.(1) @ drain [] in
       List.sort compare all = [ 0; 1; 100 ] )
 
+let test_dpor_passes_correct_sec () =
+  match
+    Explore.for_all ~max_preemptions:2 ~quantum:6 ~max_schedules:5_000
+      ~strategy:`Dpor sec_scenario
+  with
+  | Explore.Passed _ -> ()
+  | other -> Alcotest.failf "expected Passed, got %s" (result_kind other)
+
 let test_sec_conservation_all_schedules () =
   match
     Explore.for_all ~max_preemptions:2 ~quantum:6 ~max_schedules:5_000
@@ -207,7 +311,22 @@ let () =
         [
           Alcotest.test_case "lost update found" `Quick test_finds_lost_update;
           Alcotest.test_case "violation replays" `Quick test_replay_reproduces;
+          Alcotest.test_case "serialized schedule replays" `Quick
+            test_serialized_replay_reproduces;
+          Alcotest.test_case "schedule string round-trip" `Quick
+            test_schedule_string_roundtrip;
+          Alcotest.test_case "race detector flags racy scenario" `Quick
+            test_race_detector_flags_racy_scenario;
           Alcotest.test_case "broken pop found" `Quick test_finds_broken_pop;
+        ] );
+      ( "dpor",
+        [
+          Alcotest.test_case "finds lost update" `Quick
+            test_dpor_finds_lost_update;
+          Alcotest.test_case "fewer schedules than exhaustive" `Quick
+            test_dpor_visits_fewer_schedules;
+          Alcotest.test_case "sec passes under dpor" `Slow
+            test_dpor_passes_correct_sec;
         ] );
       ( "correct code passes",
         [

@@ -32,6 +32,66 @@ let test_padding_block () =
   Alcotest.(check bool) "no-scan passthrough" true
     (s == Sec_prim.Padding.copy_as_padded s)
 
+(* The exact copy/passthrough decision tree of [copy_as_padded]: only
+   small scannable blocks are copied; everything the copy loop could not
+   handle faithfully must come back physically unchanged. *)
+
+(* [mutable] forces a real heap record; all-float fields give it
+   [Double_array_tag]. *)
+type float_record = { mutable fx : float; fy : float }
+
+let _touch r = r.fx <- 0.
+type small_record = { sa : int; mutable sb : string }
+
+let test_padding_float_record_passthrough () =
+  (* All-float records get [Double_array_tag] (>= no_scan_tag): copying
+     them field-by-field with [Obj.set_field] would be unsound, so they
+     must pass through unchanged. *)
+  let r = { fx = 1.5; fy = 2.5 } in
+  Alcotest.(check bool) "float record is not copied" true
+    (r == Sec_prim.Padding.copy_as_padded r);
+  Alcotest.(check (float 0.)) "fields intact" 4.0 (r.fx +. r.fy);
+  let fa = [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check bool) "float array is not copied" true
+    (fa == Sec_prim.Padding.copy_as_padded fa)
+
+let test_padding_object_passthrough () =
+  let o =
+    object
+      val mutable n = 0
+      method bump = n <- n + 1
+      method n = n
+    end
+  in
+  Alcotest.(check bool) "objects are not copied" true
+    (o == Sec_prim.Padding.copy_as_padded o);
+  o#bump;
+  Alcotest.(check int) "object still works" 1 o#n
+
+let test_padding_large_block_passthrough () =
+  (* Blocks already at or beyond the pad size are left alone. *)
+  let big = Array.init 20 (fun i -> string_of_int i) in
+  Alcotest.(check bool) "large block is not copied" true
+    (big == Sec_prim.Padding.copy_as_padded big);
+  let at_boundary = Array.make 16 "x" in
+  Alcotest.(check bool) "exactly padded_words is not copied" true
+    (at_boundary == Sec_prim.Padding.copy_as_padded at_boundary)
+
+let test_padding_small_block_copied () =
+  let r = { sa = 7; sb = "orig" } in
+  let p = Sec_prim.Padding.copy_as_padded r in
+  Alcotest.(check bool) "a fresh block" true (p != r);
+  Alcotest.(check int) "field 0 preserved" 7 p.sa;
+  Alcotest.(check string) "field 1 preserved" "orig" p.sb;
+  Alcotest.(check int) "padded to padded_words"
+    Sec_prim.Padding.padded_words
+    (Obj.size (Obj.repr p));
+  Alcotest.(check int) "tag preserved" (Obj.tag (Obj.repr r))
+    (Obj.tag (Obj.repr p));
+  (* The copy is independent of the original. *)
+  p.sb <- "copy";
+  Alcotest.(check string) "original unaffected" "orig" r.sb
+
 let test_padding_gc_safety () =
   (* Padded blocks survive compaction/minor collections: allocate many,
      force GC, check contents. *)
@@ -174,6 +234,14 @@ let () =
         [
           Alcotest.test_case "padded atomic ops" `Quick test_padding_atomic;
           Alcotest.test_case "padded blocks" `Quick test_padding_block;
+          Alcotest.test_case "float blocks pass through" `Quick
+            test_padding_float_record_passthrough;
+          Alcotest.test_case "objects pass through" `Quick
+            test_padding_object_passthrough;
+          Alcotest.test_case "large blocks pass through" `Quick
+            test_padding_large_block_passthrough;
+          Alcotest.test_case "small blocks copied" `Quick
+            test_padding_small_block_copied;
           Alcotest.test_case "gc safety" `Quick test_padding_gc_safety;
           QCheck_alcotest.to_alcotest qcheck_padding_roundtrip;
         ] );
