@@ -94,9 +94,4 @@ let () =
     }
   in
   print_endline "\n== Paper reproduction (simulated NUMA machines) ==";
-  List.iter
-    (fun (e : Sec_harness.Experiments.t) ->
-      Printf.printf "\n== %s: %s ==\n%!" e.Sec_harness.Experiments.id
-        e.Sec_harness.Experiments.title;
-      e.Sec_harness.Experiments.run opts)
-    Sec_harness.Experiments.all
+  Sec_harness.Experiments.run_all opts

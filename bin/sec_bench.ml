@@ -4,8 +4,9 @@
      sec_bench run fig2 [options]     regenerate one figure/table
      sec_bench all [options]          regenerate everything
 
-   Options: --scale (duration multiplier), --csv DIR, --native (append
-   native-domain sanity sweeps), --seed N. *)
+   Options: --scale (duration multiplier), --csv DIR, --backend
+   sim|native|both (which execution substrate to sweep; --native is a
+   shorthand for both), --seed N. *)
 
 open Cmdliner
 
@@ -19,30 +20,40 @@ let csv_arg =
   let doc = "Directory to write CSV series into." in
   Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"DIR" ~doc)
 
+let backend_arg =
+  let doc =
+    "Execution substrate(s) to sweep: $(b,sim) (simulated NUMA machines), \
+     $(b,native) (this host's domains), or $(b,both)."
+  in
+  let choices =
+    Arg.enum [ ("sim", `Sim); ("native", `Native); ("both", `Both) ]
+  in
+  Arg.(value & opt choices `Sim & info [ "backend" ] ~docv:"BACKEND" ~doc)
+
 let native_arg =
   let doc =
-    "Also run small native-domain sweeps (limited by this host's cores)."
+    "Shorthand for $(b,--backend both): append small native-domain sanity \
+     sweeps (limited by this host's cores)."
   in
   Arg.(value & flag & info [ "native" ] ~doc)
 
 let seed_arg =
-  let doc = "Simulation seed (results are deterministic per seed)." in
+  let doc = "Run seed (simulated results are deterministic per seed)." in
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
 
 let opts_term =
-  let make scale csv_dir native seed =
-    { E.scale; csv_dir; native; seed }
+  let make scale csv_dir backend native seed =
+    let backend = if native then `Both else backend in
+    { E.scale; csv_dir; backend; seed }
   in
-  Term.(const make $ scale_arg $ csv_arg $ native_arg $ seed_arg)
+  Term.(const make $ scale_arg $ csv_arg $ backend_arg $ native_arg $ seed_arg)
 
 let run_one opts id =
   match E.find id with
   | None ->
       Printf.eprintf "unknown experiment %S; try `sec_bench list`\n" id;
       exit 1
-  | Some e ->
-      Printf.printf "== %s: %s ==\n%!" e.E.id e.E.title;
-      e.E.run opts
+  | Some e -> E.run_one opts e
 
 let list_cmd =
   let run () =
@@ -62,7 +73,7 @@ let run_cmd =
     Term.(const run $ opts_term $ id_arg)
 
 let all_cmd =
-  let run opts = List.iter (fun (e : E.t) -> run_one opts e.E.id) E.all in
+  let run opts = List.iter (fun (e : E.t) -> E.run_one opts e) E.all in
   Cmd.v (Cmd.info "all" ~doc:"Run every experiment") Term.(const run $ opts_term)
 
 (* Ad-hoc sweeps: any algorithms, any workload, any machine profile. *)
@@ -91,36 +102,39 @@ let sweep_cmd =
   let run opts machine workload algos threads =
     let topology = Sec_sim.Topology.by_name machine in
     let mix = Sec_harness.Workload.by_name workload in
-    let threads =
-      match threads with Some l -> l | None -> E.threads_for topology
-    in
-    let duration = E.duration_cycles opts in
-    let rows =
-      List.map
-        (fun name ->
-          let entry = Sec_harness.Registry.find name in
-          let values =
-            List.map
-              (fun n ->
-                (Sec_harness.Sim_runner.run entry.Sec_harness.Registry.maker
-                   ~topology ~threads:n ~duration_cycles:duration ~mix
-                   ~seed:opts.E.seed ())
-                  .Sec_harness.Measurement.mops)
-              threads
-          in
-          (name, Array.of_list values))
-        algos
-    in
-    Sec_harness.Report.series
-      ~title:
-        (Printf.sprintf "Custom sweep [%s, simulated %s] (Mops/s)" workload
-           machine)
-      ~columns:threads ~rows;
-    Option.iter
-      (fun dir ->
-        Sec_harness.Report.csv_of_series ~dir ~file:"sweep.csv" ~columns:threads
-          ~rows)
-      opts.E.csv_dir
+    List.iter
+      (fun (module B : Sec_harness.Runner.BACKEND) ->
+        let threads =
+          match threads with Some l -> l | None -> B.sweep_threads
+        in
+        let rows =
+          List.map
+            (fun name ->
+              let entry = Sec_harness.Registry.find name in
+              let values =
+                List.map
+                  (fun n ->
+                    (B.run_mix entry.Sec_harness.Registry.maker ~threads:n
+                       ~mix
+                       ~prefill:(B.prefill_for mix)
+                       ~seed:opts.E.seed ())
+                      .Sec_harness.Measurement.mops)
+                  threads
+              in
+              (name, Array.of_list values))
+            algos
+        in
+        Sec_harness.Report.series
+          ~title:
+            (Printf.sprintf "Custom sweep [%s, %s] (Mops/s)" workload B.label)
+          ~columns:threads ~rows;
+        Option.iter
+          (fun dir ->
+            Sec_harness.Report.csv_of_series ~dir
+              ~file:(Printf.sprintf "sweep%s.csv" B.file_suffix)
+              ~columns:threads ~rows)
+          opts.E.csv_dir)
+      (E.backends_of opts ~topology)
   in
   Cmd.v
     (Cmd.info "sweep"

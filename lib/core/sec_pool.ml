@@ -85,8 +85,11 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
 
   let freeze_batch t aggregator batch =
     if t.freeze_backoff > 0 then P.relax t.freeze_backoff;
-    A.set batch.pop_at_freeze (A.get batch.pop_count);
-    A.set batch.push_at_freeze (A.get batch.push_count);
+    (* Clamp: announcements at or past [capacity] own no elimination slot
+       (the push path bails out before depositing) and must be excluded;
+       they retry in a later batch. Same hazard as {!Sec_stack}. *)
+    A.set batch.pop_at_freeze (min (A.get batch.pop_count) t.capacity);
+    A.set batch.push_at_freeze (min (A.get batch.push_count) t.capacity);
     A.set aggregator.batch (make_batch t.capacity)
 
   let announce_and_freeze t aggregator batch ~seq ~counter_at_freeze =
@@ -205,21 +208,29 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     let rec try_batch () =
       let batch = A.get aggregator.batch in
       let seq = A.fetch_and_add batch.push_count 1 in
-      assert (seq < t.capacity);
-      A.set batch.elimination.(seq) (Some node);
-      if
-        announce_and_freeze t aggregator batch ~seq
-          ~counter_at_freeze:batch.push_at_freeze
-      then begin
-        let pop_frozen = A.get batch.pop_at_freeze in
-        if seq >= pop_frozen then
-          if seq = pop_frozen then begin
-            push_to_local aggregator batch ~seq;
-            A.set batch.batch_applied true
-          end
-          else Backoff.spin_until (fun () -> A.get batch.batch_applied)
+      if seq >= t.capacity then begin
+        (* More announcements than the pool was sized for landed in this
+           batch; the freeze snapshot clamps to [capacity], so we are
+           excluded by construction — wait out the batch and retry. *)
+        Backoff.spin_while (fun () -> A.get aggregator.batch == batch);
+        try_batch ()
       end
-      else try_batch ()
+      else begin
+        A.set batch.elimination.(seq) (Some node);
+        if
+          announce_and_freeze t aggregator batch ~seq
+            ~counter_at_freeze:batch.push_at_freeze
+        then begin
+          let pop_frozen = A.get batch.pop_at_freeze in
+          if seq >= pop_frozen then
+            if seq = pop_frozen then begin
+              push_to_local aggregator batch ~seq;
+              A.set batch.batch_applied true
+            end
+            else Backoff.spin_until (fun () -> A.get batch.batch_applied)
+        end
+        else try_batch ()
+      end
     in
     try_batch ()
 

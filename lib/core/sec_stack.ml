@@ -160,8 +160,12 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
 
   let freeze_batch t ~tid aggregator batch =
     freezer_backoff t batch;
-    let pops = A.get batch.pop_count in
-    let pushes = A.get batch.push_count in
+    (* When more live threads than [max_threads] announce into one batch,
+       the counters race past [capacity]. Announcements at or past it own
+       no elimination slot (the push path bails out before depositing), so
+       the snapshot must exclude them; they retry in a later batch. *)
+    let pops = min (A.get batch.pop_count) t.capacity in
+    let pushes = min (A.get batch.push_count) t.capacity in
     A.set batch.pop_at_freeze pops;
     A.set batch.push_at_freeze pushes;
     record_batch_stats t ~tid ~pushes ~pops;
@@ -255,23 +259,35 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     let rec try_batch () =
       let batch = A.get aggregator.batch in
       let seq = A.fetch_and_add batch.push_count 1 in
-      assert (seq < t.capacity);
-      A.set batch.elimination.(seq) (Some node);
-      if
-        announce_and_freeze t ~tid aggregator batch ~seq
-          ~counter_at_freeze:batch.push_at_freeze
-      then begin
-        let pop_frozen = A.get batch.pop_at_freeze in
-        if seq >= pop_frozen then
-          (* Not eliminated; the smallest surviving push combines. *)
-          if seq = pop_frozen then begin
-            push_to_stack t batch ~seq;
-            A.set batch.batch_applied true
-          end
-          else Backoff.spin_until (fun () -> A.get batch.batch_applied)
-        (* else: a pop with our sequence number consumed our node. *)
+      if seq >= t.capacity then begin
+        (* No elimination slot for us: more announcements landed in this
+           batch than the stack was sized for (live threads exceed
+           [max_threads]). The freeze snapshot clamps to [capacity], so we
+           are excluded by construction — wait out the batch and retry. *)
+        (match t.stats with
+        | Some s -> Counter.incr s.excluded ~tid
+        | None -> ());
+        Backoff.spin_while (fun () -> A.get aggregator.batch == batch);
+        try_batch ()
       end
-      else try_batch ()
+      else begin
+        A.set batch.elimination.(seq) (Some node);
+        if
+          announce_and_freeze t ~tid aggregator batch ~seq
+            ~counter_at_freeze:batch.push_at_freeze
+        then begin
+          let pop_frozen = A.get batch.pop_at_freeze in
+          if seq >= pop_frozen then
+            (* Not eliminated; the smallest surviving push combines. *)
+            if seq = pop_frozen then begin
+              push_to_stack t batch ~seq;
+              A.set batch.batch_applied true
+            end
+            else Backoff.spin_until (fun () -> A.get batch.batch_applied)
+          (* else: a pop with our sequence number consumed our node. *)
+        end
+        else try_batch ()
+      end
     in
     try_batch ()
 

@@ -2,18 +2,21 @@
    evaluation (see DESIGN.md for the index). Each experiment prints its
    series tables and optionally dumps CSVs.
 
-   Paper-scale thread counts run on the simulator (this host has a single
-   core); pass [native = true] to append small native-domain sweeps as a
-   sanity check. *)
+   Experiments are backend-agnostic: they iterate over the
+   {!Runner.BACKEND}s selected by [opts.backend], so the same definition
+   produces paper-scale simulated sweeps (this host has a single core)
+   and small native-domain sanity sweeps. *)
+
+type backend_choice = [ `Sim | `Native | `Both ]
 
 type opts = {
   scale : float; (* duration multiplier; 1.0 ~ a few seconds per figure *)
   csv_dir : string option;
-  native : bool;
+  backend : backend_choice;
   seed : int;
 }
 
-let default_opts = { scale = 1.0; csv_dir = None; native = false; seed = 1 }
+let default_opts = { scale = 1.0; csv_dir = None; backend = `Sim; seed = 1 }
 
 type t = { id : string; title : string; run : opts -> unit }
 
@@ -21,33 +24,38 @@ type t = { id : string; title : string; run : opts -> unit }
 (* Sweep helpers                                                        *)
 
 let base_cycles = 300_000
-let duration_cycles opts = max 10_000 (int_of_float (float_of_int base_cycles *. opts.scale))
+
+let duration_cycles opts =
+  max 10_000 (int_of_float (float_of_int base_cycles *. opts.scale))
+
 let native_duration opts = 0.25 *. opts.scale
+let threads_for = Sim_runner.threads_for
 
-let threads_for (topo : Sec_sim.Topology.t) =
-  match topo.Sec_sim.Topology.name with
-  | "emerald" -> [ 1; 2; 4; 8; 16; 28; 40; 56 ]
-  | "icelake" -> [ 1; 2; 4; 8; 16; 32; 48; 64; 96 ]
-  | "sapphire" -> [ 1; 2; 4; 8; 16; 32; 64; 96; 128; 192 ]
-  | _ -> [ 1; 2; 4; 8 ]
+(* The backends an experiment should run on, in report order. Simulated
+   experiments are topology-specific; the native backend ignores the
+   topology (it runs on whatever this host is). *)
+let backends_of opts ~topology : (module Runner.BACKEND) list =
+  let sim () =
+    Sim_runner.backend ~topology ~duration_cycles:(duration_cycles opts)
+  in
+  let native () = Native_runner.backend ~duration:(native_duration opts) in
+  match opts.backend with
+  | `Sim -> [ sim () ]
+  | `Native -> [ native () ]
+  | `Both -> [ sim (); native () ]
 
-(* Pop-only sweeps measure sustained pop pressure, so the prefill must
-   outlast the window for every algorithm; otherwise the fast ones drain
-   the stack and the figure degenerates into empty-pop throughput. *)
-let prefill_for mix =
-  if mix.Workload.pop_pct = 100 then 50_000 else Sim_runner.default_prefill
-
-let sim_sweep opts ~topology ~mix ~entries ~tag ~title =
-  let threads = threads_for topology in
-  let prefill = prefill_for mix in
+(* One throughput sweep (a figure's worth of lines) on one backend. *)
+let sweep opts (module B : Runner.BACKEND) ?threads ~mix ~entries ~tag ~title
+    () =
+  let threads = Option.value threads ~default:B.sweep_threads in
+  let prefill = B.prefill_for mix in
   let rows =
     List.map
       (fun (e : Registry.entry) ->
         let values =
           List.map
             (fun n ->
-              (Sim_runner.run e.Registry.maker ~topology ~threads:n
-                 ~duration_cycles:(duration_cycles opts) ~mix ~prefill
+              (B.run_mix e.Registry.maker ~threads:n ~mix ~prefill
                  ~seed:opts.seed ())
                 .Measurement.mops)
             threads
@@ -56,111 +64,88 @@ let sim_sweep opts ~topology ~mix ~entries ~tag ~title =
       entries
   in
   Report.series
-    ~title:(Printf.sprintf "%s [%s, simulated %s]" title mix.Workload.label
-              topology.Sec_sim.Topology.name)
+    ~title:(Printf.sprintf "%s [%s, %s]" title mix.Workload.label B.label)
     ~columns:threads ~rows;
   Option.iter
     (fun dir ->
       Report.csv_of_series ~dir
-        ~file:(Printf.sprintf "%s_%s.csv" tag mix.Workload.label)
+        ~file:
+          (Printf.sprintf "%s_%s%s.csv" tag mix.Workload.label B.file_suffix)
         ~columns:threads ~rows)
     opts.csv_dir
 
-let native_sweep opts ~mix ~entries ~tag ~title =
-  let threads = [ 1; 2; 4 ] in
-  (* Native cores pop millions of times per second; size the pop-only
-     prefill to keep the stack non-empty for the whole wall-clock window. *)
-  let prefill =
-    if mix.Workload.pop_pct = 100 then 2_000_000 else Native_runner.default_prefill
-  in
-  let rows =
-    List.map
-      (fun (e : Registry.entry) ->
-        let values =
-          List.map
-            (fun n ->
-              (Native_runner.run e.Registry.maker ~threads:n
-                 ~duration:(native_duration opts) ~mix ~prefill ~seed:opts.seed ())
-                .Measurement.mops)
-            threads
-        in
-        (e.Registry.name, Array.of_list values))
-      entries
-  in
-  Report.series
-    ~title:(Printf.sprintf "%s [%s, native domains]" title mix.Workload.label)
-    ~columns:threads ~rows;
-  Option.iter
-    (fun dir ->
-      Report.csv_of_series ~dir
-        ~file:(Printf.sprintf "%s_%s_native.csv" tag mix.Workload.label)
-        ~columns:threads ~rows)
-    opts.csv_dir
+let sweep_mixes opts ~topology ~mixes ~entries ~tag ~title =
+  List.iter
+    (fun mix ->
+      List.iter
+        (fun backend -> sweep opts backend ~mix ~entries ~tag ~title ())
+        (backends_of opts ~topology))
+    mixes
 
 (* Throughput figures: update mixes (Figures 2/5/9). *)
 let throughput_figure ~id ~topology ~paper_ref =
   {
     id;
-    title = Printf.sprintf "%s: throughput, 100%%/50%%/10%% updates on %s"
-              paper_ref topology.Sec_sim.Topology.name;
+    title =
+      Printf.sprintf "%s: throughput, 100%%/50%%/10%% updates on %s" paper_ref
+        topology.Sec_sim.Topology.name;
     run =
       (fun opts ->
-        List.iter
-          (fun mix ->
-            sim_sweep opts ~topology ~mix ~entries:Registry.paper_set ~tag:id
-              ~title:paper_ref;
-            if opts.native then
-              native_sweep opts ~mix ~entries:Registry.paper_set ~tag:id
-                ~title:paper_ref)
-          [ Workload.update_heavy; Workload.mixed; Workload.read_heavy ]);
+        sweep_mixes opts ~topology
+          ~mixes:[ Workload.update_heavy; Workload.mixed; Workload.read_heavy ]
+          ~entries:Registry.paper_set ~tag:id ~title:paper_ref);
   }
 
 (* Push-only / pop-only figures (Figures 3/6/10). *)
 let homogeneous_figure ~id ~topology ~paper_ref =
   {
     id;
-    title = Printf.sprintf "%s: push-only and pop-only on %s" paper_ref
-              topology.Sec_sim.Topology.name;
+    title =
+      Printf.sprintf "%s: push-only and pop-only on %s" paper_ref
+        topology.Sec_sim.Topology.name;
     run =
       (fun opts ->
-        List.iter
-          (fun mix ->
-            sim_sweep opts ~topology ~mix ~entries:Registry.paper_set ~tag:id
-              ~title:paper_ref;
-            if opts.native then
-              native_sweep opts ~mix ~entries:Registry.paper_set ~tag:id
-                ~title:paper_ref)
-          [ Workload.push_only; Workload.pop_only ]);
+        sweep_mixes opts ~topology
+          ~mixes:[ Workload.push_only; Workload.pop_only ]
+          ~entries:Registry.paper_set ~tag:id ~title:paper_ref);
   }
 
 (* Aggregator self-comparison (Figures 4/7/8/11/12). *)
 let aggregator_figure ~id ~topology ~paper_ref ~mixes =
   {
     id;
-    title = Printf.sprintf "%s: SEC with 1..5 aggregators on %s" paper_ref
-              topology.Sec_sim.Topology.name;
+    title =
+      Printf.sprintf "%s: SEC with 1..5 aggregators on %s" paper_ref
+        topology.Sec_sim.Topology.name;
     run =
       (fun opts ->
         List.iter
           (fun mix ->
-            sim_sweep opts ~topology ~mix ~entries:Registry.sec_aggregator_sweep
-              ~tag:id ~title:paper_ref)
+            sweep opts
+              (Sim_runner.backend ~topology
+                 ~duration_cycles:(duration_cycles opts))
+              ~mix ~entries:Registry.sec_aggregator_sweep ~tag:id
+              ~title:paper_ref ())
           mixes);
   }
 
 (* Batching/elimination/combining degrees (Tables 1/2/3). The paper
-   reports averages across thread counts. *)
+   reports averages across thread counts. Simulator-only: it reads SEC's
+   internal statistics counters. *)
 let degrees_table ~id ~topology ~paper_ref =
   {
     id;
-    title = Printf.sprintf "%s: SEC batching/elimination/combining on %s"
-              paper_ref topology.Sec_sim.Topology.name;
+    title =
+      Printf.sprintf "%s: SEC batching/elimination/combining on %s" paper_ref
+        topology.Sec_sim.Topology.name;
     run =
       (fun opts ->
         let thread_points =
           List.filter (fun n -> n >= 8) (threads_for topology)
         in
-        let mixes = [ Workload.update_heavy; Workload.mixed; Workload.read_heavy ] in
+        let mixes =
+          [ Workload.update_heavy; Workload.mixed; Workload.read_heavy ]
+        in
         let per_mix =
           List.map
             (fun mix ->
@@ -192,9 +177,10 @@ let degrees_table ~id ~topology ~paper_ref =
           ]
         in
         Report.keyed
-          ~title:(Printf.sprintf "%s [simulated %s, averaged over %s threads]"
-                    paper_ref topology.Sec_sim.Topology.name
-                    (String.concat "," (List.map string_of_int thread_points)))
+          ~title:
+            (Printf.sprintf "%s [simulated %s, averaged over %s threads]"
+               paper_ref topology.Sec_sim.Topology.name
+               (String.concat "," (List.map string_of_int thread_points)))
           ~columns ~rows;
         Option.iter
           (fun dir ->
@@ -224,13 +210,22 @@ let ablation_backoff =
         in
         List.iter
           (fun mix ->
-            sim_sweep opts ~topology:Sec_sim.Topology.emerald ~mix ~entries
-              ~tag:"ablation_backoff" ~title:"Freezer backoff ablation")
+            sweep opts
+              (Sim_runner.backend ~topology:Sec_sim.Topology.emerald
+                 ~duration_cycles:(duration_cycles opts))
+              ~mix ~entries ~tag:"ablation_backoff"
+              ~title:"Freezer backoff ablation" ())
           [ Workload.update_heavy; Workload.push_only ]);
   }
 
 let ablation_funnel =
   let module SP = Sec_sim.Sim.Prim in
+  let module R = Runner.Make (SP) in
+  (* Not a stack benchmark, but the same driver fits: a push-only "stack"
+     whose push is one fetch&add. The loop's extra random draws are
+     schedule-free in the simulator, so the numbers match the dedicated
+     loop this replaces. Runs without jitter: FAA throughput has no
+     lockstep fixed points to break. *)
   let faa_throughput opts ~threads ~variant =
     let duration = duration_cycles opts in
     let ops, _ =
@@ -240,22 +235,17 @@ let ablation_funnel =
           let shards = match variant with `Funnel s -> s | `Central -> 1 in
           let funnel = Faa.create ~shards () in
           let central = SP.Atomic.make 0 in
-          let counts = Array.make threads 0 in
-          let deadline = Int64.add (SP.now_ns ()) (Int64.of_int duration) in
-          for _ = 1 to threads do
-            Sec_sim.Sim.spawn (fun () ->
-                let tid = Sec_sim.Sim.fiber_id () in
-                let ops = ref 0 in
-                while Int64.compare (SP.now_ns ()) deadline < 0 do
-                  (match variant with
-                  | `Central -> ignore (SP.Atomic.fetch_and_add central 1)
-                  | `Funnel _ -> ignore (Faa.fetch_and_add funnel ~tid 1));
-                  incr ops
-                done;
-                counts.(tid) <- !ops)
-          done;
-          Sec_sim.Sim.await_all ();
-          Array.fold_left ( + ) 0 counts)
+          let outcome =
+            R.drive ~threads ~stop:(R.Timed duration) ~mix:Workload.push_only
+              ~push:(fun ~tid _ ->
+                match variant with
+                | `Central -> ignore (SP.Atomic.fetch_and_add central 1)
+                | `Funnel _ -> ignore (Faa.fetch_and_add funnel ~tid 1))
+              ~pop:(fun ~tid:_ -> None)
+              ~peek:(fun ~tid:_ -> None)
+              ()
+          in
+          R.total outcome)
     in
     (Measurement.of_simulated ~algorithm:"faa" ~threads ~ops ~cycles:duration)
       .Measurement.mops
@@ -303,86 +293,78 @@ let ablation_hsynch =
         let entries = [ Registry.sec; Registry.hsynch; Registry.cc ] in
         List.iter
           (fun mix ->
-            sim_sweep opts ~topology:Sec_sim.Topology.sapphire ~mix ~entries
-              ~tag:"ablation_hsynch" ~title:"NUMA-aware combining ablation")
+            sweep opts
+              (Sim_runner.backend ~topology:Sec_sim.Topology.sapphire
+                 ~duration_cycles:(duration_cycles opts))
+              ~mix ~entries ~tag:"ablation_hsynch"
+              ~title:"NUMA-aware combining ablation" ())
           [ Workload.update_heavy ]);
   }
 
-let extension_pool =
-  let module SP = Sec_sim.Sim.Prim in
-  let module Pool = Sec_core.Sec_pool.Make (SP) in
-  (* The pool is push/pop only, so it gets a dedicated runner; SEC and TRB
-     run the same 50/50 workload through the standard one. *)
-  let pool_throughput opts ~threads ~aggregators =
-    let duration = duration_cycles opts in
-    let ops, _ =
-      Sec_sim.Sim.run ~seed:opts.seed ~topology:Sec_sim.Topology.emerald
-        (fun () ->
-          let pool = Pool.create ~aggregators ~max_threads:threads () in
-          for i = 1 to Sim_runner.default_prefill do
-            Pool.push pool ~tid:0 i
-          done;
-          let counts = Array.make threads 0 in
-          let deadline = Int64.add (SP.now_ns ()) (Int64.of_int duration) in
-          for _ = 1 to threads do
-            Sec_sim.Sim.spawn (fun () ->
-                let tid = Sec_sim.Sim.fiber_id () in
-                let ops = ref 0 in
-                while Int64.compare (SP.now_ns ()) deadline < 0 do
-                  SP.relax Sim_runner.loop_overhead;
-                  if SP.rand_int 2 = 0 then Pool.push pool ~tid (SP.rand_int 100)
-                  else ignore (Pool.pop pool ~tid);
-                  incr ops
-                done;
-                counts.(tid) <- !ops)
-          done;
-          Sec_sim.Sim.await_all ();
-          Array.fold_left ( + ) 0 counts)
-    in
-    (Measurement.of_simulated ~algorithm:"pool" ~threads ~ops ~cycles:duration)
-      .Measurement.mops
+(* The SEC-style pool as a registry-shaped entry: push/pop only ([peek]
+   is always [None]; none of the pool mixes draw peeks), so it runs
+   through the same unified driver as every stack. *)
+let pool_entry ~aggregators ~label =
+  let module M =
+    functor
+      (P : Sec_prim.Prim_intf.S)
+      ->
+      struct
+        module Pool = Sec_core.Sec_pool.Make (P)
+
+        type 'a t = 'a Pool.t
+
+        let name = label
+
+        let create ?(max_threads = 64) () =
+          Pool.create ~aggregators ~max_threads ()
+
+        let push = Pool.push
+        let pop = Pool.pop
+        let peek _ ~tid:_ = None
+      end
   in
+  { Registry.name = label; maker = (module M : Registry.MAKER) }
+
+let extension_pool =
   {
     id = "extension-pool";
     title =
       "Extension: SEC-style pool (sharded backing stores) vs SEC stack vs TRB";
     run =
       (fun opts ->
-        let threads = threads_for Sec_sim.Topology.emerald in
-        let stack_row (e : Registry.entry) =
-          ( e.Registry.name,
-            Array.of_list
-              (List.map
-                 (fun n ->
-                   (Sim_runner.run e.Registry.maker
-                      ~topology:Sec_sim.Topology.emerald ~threads:n
-                      ~duration_cycles:(duration_cycles opts)
-                      ~mix:Workload.update_heavy ~seed:opts.seed ())
-                     .Measurement.mops)
-                 threads) )
+        let (module B : Runner.BACKEND) =
+          Sim_runner.backend ~topology:Sec_sim.Topology.emerald
+            ~duration_cycles:(duration_cycles opts)
         in
-        let pool_row label aggregators =
-          ( label,
-            Array.of_list
-              (List.map
-                 (fun n -> pool_throughput opts ~threads:n ~aggregators)
-                 threads) )
+        let entries =
+          [
+            pool_entry ~aggregators:2 ~label:"SEC-pool x2";
+            pool_entry ~aggregators:4 ~label:"SEC-pool x4";
+            Registry.sec;
+            Registry.treiber;
+          ]
         in
         let rows =
-          [
-            pool_row "SEC-pool x2" 2;
-            pool_row "SEC-pool x4" 4;
-            stack_row Registry.sec;
-            stack_row Registry.treiber;
-          ]
+          List.map
+            (fun (e : Registry.entry) ->
+              ( e.Registry.name,
+                Array.of_list
+                  (List.map
+                     (fun n ->
+                       (B.run_mix e.Registry.maker ~threads:n
+                          ~mix:Workload.update_heavy ~seed:opts.seed ())
+                         .Measurement.mops)
+                     B.sweep_threads) ))
+            entries
         in
         Report.series
           ~title:"Pool extension, 100% updates (Mops/s) [simulated emerald]"
-          ~columns:threads ~rows;
+          ~columns:B.sweep_threads ~rows;
         Option.iter
           (fun dir ->
             Report.csv_of_series ~dir ~file:"extension_pool.csv"
-              ~columns:threads ~rows)
+              ~columns:B.sweep_threads ~rows)
           opts.csv_dir);
   }
 
@@ -431,39 +413,77 @@ let latency_distribution =
       "Supporting: per-operation latency distribution at 28 threads (emerald)";
     run =
       (fun opts ->
-        let threads = 28 in
+        List.iter
+          (fun (module B : Runner.BACKEND) ->
+            let threads = B.latency_point in
+            let rows =
+              List.map
+                (fun (e : Registry.entry) ->
+                  let h =
+                    B.run_latency e.Registry.maker ~threads
+                      ~mix:Workload.update_heavy ~seed:opts.seed ()
+                  in
+                  ( e.Registry.name,
+                    [
+                      Printf.sprintf "%.0f" (Latency.mean h);
+                      string_of_int (Latency.percentile h 50.);
+                      string_of_int (Latency.percentile h 90.);
+                      string_of_int (Latency.percentile h 99.);
+                      string_of_int (Latency.percentile h 99.9);
+                    ] ))
+                Registry.paper_set
+            in
+            Report.keyed
+              ~title:
+                (Printf.sprintf "Per-op latency in %s [100%%upd, %d threads, %s]"
+                   B.latency_unit threads B.label)
+              ~columns:[ "mean"; "p50"; "p90"; "p99"; "p99.9" ]
+              ~rows;
+            Option.iter
+              (fun dir ->
+                Report.csv ~dir
+                  ~file:(Printf.sprintf "latency_dist%s.csv" B.file_suffix)
+                  ~header:[ "algorithm"; "mean"; "p50"; "p90"; "p99"; "p99.9" ]
+                  ~rows:(List.map (fun (n, vs) -> n :: vs) rows))
+              opts.csv_dir)
+          (backends_of opts ~topology:Sec_sim.Topology.emerald));
+  }
+
+(* A deliberately tiny, fixed-size simulated run for the @bench-smoke
+   golden-file check: topology, duration, threads and mix are pinned
+   (scale and backend options are ignored) so that for a fixed --seed the
+   CSV is reproducible byte for byte. *)
+let smoke =
+  {
+    id = "smoke";
+    title = "Smoke: SEC vs TRB, tiny pinned simulated run (golden-diffed)";
+    run =
+      (fun opts ->
+        let (module B : Runner.BACKEND) =
+          Sim_runner.backend ~topology:Sec_sim.Topology.testbox
+            ~duration_cycles:10_000
+        in
+        let threads = [ 1; 2; 4 ] in
+        let mix = Workload.update_heavy in
         let rows =
           List.map
             (fun (e : Registry.entry) ->
-              let h =
-                Sim_runner.run_latency_profile e.Registry.maker
-                  ~topology:Sec_sim.Topology.emerald ~threads
-                  ~duration_cycles:(duration_cycles opts)
-                  ~mix:Workload.update_heavy ~seed:opts.seed ()
-              in
               ( e.Registry.name,
-                [
-                  Printf.sprintf "%.0f" (Latency.mean h);
-                  string_of_int (Latency.percentile h 50.);
-                  string_of_int (Latency.percentile h 90.);
-                  string_of_int (Latency.percentile h 99.);
-                  string_of_int (Latency.percentile h 99.9);
-                ] ))
-            Registry.paper_set
+                Array.of_list
+                  (List.map
+                     (fun n ->
+                       (B.run_mix e.Registry.maker ~threads:n ~mix
+                          ~seed:opts.seed ())
+                         .Measurement.mops)
+                     threads) ))
+            [ Registry.sec; Registry.treiber ]
         in
-        Report.keyed
-          ~title:
-            (Printf.sprintf
-               "Per-op latency in cycles [100%%upd, %d threads, simulated \
-                emerald]"
-               threads)
-          ~columns:[ "mean"; "p50"; "p90"; "p99"; "p99.9" ]
-          ~rows;
+        Report.series
+          ~title:(Printf.sprintf "Smoke [%s, %s]" mix.Workload.label B.label)
+          ~columns:threads ~rows;
         Option.iter
           (fun dir ->
-            Report.csv ~dir ~file:"latency_dist.csv"
-              ~header:[ "algorithm"; "mean"; "p50"; "p90"; "p99"; "p99.9" ]
-              ~rows:(List.map (fun (n, vs) -> n :: vs) rows))
+            Report.csv_of_series ~dir ~file:"smoke.csv" ~columns:threads ~rows)
           opts.csv_dir);
   }
 
@@ -521,8 +541,21 @@ let all =
     extension_pool;
     latency_distribution;
     variance_check;
+    smoke;
   ]
 
 let find id = List.find_opt (fun e -> e.id = id) all
 
 let ids () = List.map (fun e -> e.id) all
+
+(* Shared driver plumbing for bin/sec_bench and bench/main. *)
+let run_one opts e =
+  Printf.printf "== %s: %s ==\n%!" e.id e.title;
+  e.run opts
+
+let run_all opts =
+  List.iter
+    (fun e ->
+      print_newline ();
+      run_one opts e)
+    all

@@ -1,11 +1,15 @@
 (** The experiment registry: one entry per figure and table of the paper's
-    evaluation (DESIGN.md holds the index). *)
+    evaluation (DESIGN.md holds the index). Experiments are defined over
+    {!Runner.BACKEND}s, so the same entry runs simulated (paper-scale) and
+    native sweeps. *)
+
+type backend_choice = [ `Sim | `Native | `Both ]
 
 type opts = {
   scale : float;  (** duration multiplier (1.0 = default run length) *)
   csv_dir : string option;  (** write CSV series here if set *)
-  native : bool;  (** append native-domain sanity sweeps *)
-  seed : int;  (** simulation seed; results are deterministic per seed *)
+  backend : backend_choice;  (** which execution substrate(s) to sweep *)
+  seed : int;  (** run seed; simulated results are deterministic per seed *)
 }
 
 val default_opts : opts
@@ -15,11 +19,25 @@ type t = { id : string; title : string; run : opts -> unit }
 (** Simulated duration for one data point under [opts]. *)
 val duration_cycles : opts -> int
 
+(** Native wall-clock duration for one data point under [opts]. *)
+val native_duration : opts -> float
+
 (** Thread counts swept on a given machine profile. *)
 val threads_for : Sec_sim.Topology.t -> int list
 
-(** All experiments: fig2..fig12, table1..table3, plus the ablations. *)
+(** The backends selected by [opts.backend], simulating [topology]. *)
+val backends_of :
+  opts -> topology:Sec_sim.Topology.t -> (module Runner.BACKEND) list
+
+(** All experiments: fig2..fig12, table1..table3, ablations, extensions
+    and the pinned [smoke] run the @bench-smoke alias golden-diffs. *)
 val all : t list
 
 val find : string -> t option
 val ids : unit -> string list
+
+(** Print an experiment's header and run it. *)
+val run_one : opts -> t -> unit
+
+(** {!run_one} over {!all}, blank-line separated. *)
+val run_all : opts -> unit

@@ -1,5 +1,6 @@
-(** Timed throughput runs on real domains, following the paper's
-    methodology (prefilled stack, random operation mix, fixed duration).
+(** Native backend adapter over {!Runner.Make}: timed runs on real
+    domains, following the paper's methodology (prefilled stack, random
+    operation mix, fixed duration). Contains no workload loop of its own.
     Limited by this host's core count; paper-scale runs use
     {!Sim_runner}. *)
 
@@ -18,3 +19,35 @@ val run :
   ?seed:int ->
   unit ->
   Measurement.t
+
+(** Like {!run}, but returns a per-operation latency histogram in
+    nanoseconds. *)
+val run_latency_profile :
+  (module Registry.MAKER) ->
+  threads:int ->
+  duration:float ->
+  mix:Workload.mix ->
+  ?prefill:int ->
+  ?value_range:int ->
+  ?seed:int ->
+  unit ->
+  Latency.t
+
+(** [run_recorded maker ~threads ~ops_per_thread ~mix ()] runs a fixed
+    number of operations per thread on real domains, recording a
+    wall-clock-stamped operation history for linearizability checking.
+    Returns the history and the per-thread completed-operation counts. *)
+val run_recorded :
+  (module Registry.MAKER) ->
+  threads:int ->
+  ops_per_thread:int ->
+  mix:Workload.mix ->
+  ?prefill:int ->
+  ?value_range:int ->
+  ?seed:int ->
+  unit ->
+  int Sec_spec.History.t * int array
+
+(** The native benchmark backend ([duration] in wall-clock seconds per
+    data point), for backend-agnostic experiment definitions. *)
+val backend : duration:float -> (module Runner.BACKEND)

@@ -1,12 +1,15 @@
-(* Timed throughput runs inside the discrete-event simulator: the same
-   methodology as {!Native_runner} but in virtual time, at the paper's
-   56/96/192 hardware-thread scales. Deterministic for a fixed seed, so a
-   single run per data point suffices. *)
+(* Simulator backend adapter: timed throughput runs inside the
+   discrete-event simulator, at the paper's 56/96/192 hardware-thread
+   scales — deterministic for a fixed seed, so a single run per data point
+   suffices. The workload loop itself lives in {!Runner.Make}; this
+   module only wraps it in [Sec_sim.Sim.run], charges the simulator's
+   benchmark-loop overhead, and converts outcomes to {!Measurement}s. *)
 
 module SP = Sec_sim.Sim.Prim
+module R = Runner.Make (SP)
 
-let default_prefill = 1_000
-let default_value_range = 100_000
+let default_prefill = Runner.default_prefill
+let default_value_range = Runner.default_value_range
 
 (* Per-operation benchmark-loop overhead (random draw, branch, counter) —
    keeps trivial operations like peek from looking infinitely cheap. *)
@@ -22,33 +25,14 @@ let bench_jitter = 2
 let run (module Maker : Registry.MAKER) ~topology ~threads ~duration_cycles
     ~mix ?(prefill = default_prefill) ?(value_range = default_value_range)
     ?(seed = 1) () =
-  let module S = Maker (SP) in
-  let ops, _stats =
+  let (name, outcome), _stats =
     Sec_sim.Sim.run ~seed ~jitter:bench_jitter ~topology (fun () ->
-        let stack = S.create ~max_threads:(max threads 1) () in
-        for i = 1 to prefill do
-          S.push stack ~tid:0 (i mod value_range)
-        done;
-        let counts = Array.make threads 0 in
-        let deadline = Int64.add (SP.now_ns ()) (Int64.of_int duration_cycles) in
-        for _ = 1 to threads do
-          Sec_sim.Sim.spawn (fun () ->
-              let tid = Sec_sim.Sim.fiber_id () in
-              let ops = ref 0 in
-              while Int64.compare (SP.now_ns ()) deadline < 0 do
-                SP.relax loop_overhead;
-                (match Workload.pick mix (SP.rand_int 100) with
-                | Workload.Push -> S.push stack ~tid (SP.rand_int value_range)
-                | Workload.Pop -> ignore (S.pop stack ~tid)
-                | Workload.Peek -> ignore (S.peek stack ~tid));
-                incr ops
-              done;
-              counts.(tid) <- !ops)
-        done;
-        Sec_sim.Sim.await_all ();
-        Array.fold_left ( + ) 0 counts)
+        R.run_maker
+          (module Maker)
+          ~op_overhead:loop_overhead ~threads ~stop:(R.Timed duration_cycles)
+          ~mix ~prefill ~value_range ())
   in
-  Measurement.of_simulated ~algorithm:S.name ~threads ~ops
+  Measurement.of_simulated ~algorithm:name ~threads ~ops:(R.total outcome)
     ~cycles:duration_cycles
 
 (* Like [run], but recording a per-operation latency histogram (virtual
@@ -56,37 +40,22 @@ let run (module Maker : Registry.MAKER) ~topology ~threads ~duration_cycles
 let run_latency_profile (module Maker : Registry.MAKER) ~topology ~threads
     ~duration_cycles ~mix ?(prefill = default_prefill)
     ?(value_range = default_value_range) ?(seed = 1) () =
-  let module S = Maker (SP) in
   let histogram, _ =
     Sec_sim.Sim.run ~seed ~jitter:bench_jitter ~topology (fun () ->
-        let stack = S.create ~max_threads:(max threads 1) () in
-        for i = 1 to prefill do
-          S.push stack ~tid:0 (i mod value_range)
-        done;
-        let per_thread = Array.init threads (fun _ -> Latency.create ()) in
-        let deadline = Int64.add (SP.now_ns ()) (Int64.of_int duration_cycles) in
-        for _ = 1 to threads do
-          Sec_sim.Sim.spawn (fun () ->
-              let tid = Sec_sim.Sim.fiber_id () in
-              let hist = per_thread.(tid) in
-              while Int64.compare (SP.now_ns ()) deadline < 0 do
-                SP.relax loop_overhead;
-                let op = Workload.pick mix (SP.rand_int 100) in
-                let start = SP.now_ns () in
-                (match op with
-                | Workload.Push -> S.push stack ~tid (SP.rand_int value_range)
-                | Workload.Pop -> ignore (S.pop stack ~tid)
-                | Workload.Peek -> ignore (S.peek stack ~tid));
-                let finish = SP.now_ns () in
-                Latency.add hist (Int64.to_int (Int64.sub finish start))
-              done)
-        done;
-        Sec_sim.Sim.await_all ();
-        Array.fold_left Latency.merge (Latency.create ()) per_thread)
+        let observer, merged = R.latency_observer ~threads in
+        let _ =
+          R.run_maker
+            (module Maker)
+            ~observer ~op_overhead:loop_overhead ~threads
+            ~stop:(R.Timed duration_cycles) ~mix ~prefill ~value_range ()
+        in
+        merged ())
   in
   histogram
 
-(* SEC with statistics collection, for the batching-degree tables. *)
+(* SEC with statistics collection, for the batching-degree tables. Not a
+   plain registry run — it snapshots the stack's counters around the
+   measured window — so it uses [R.drive] directly. *)
 let run_sec_stats ~config ~topology ~threads ~duration_cycles ~mix
     ?(prefill = default_prefill) ?(value_range = default_value_range)
     ?(seed = 1) () =
@@ -101,19 +70,66 @@ let run_sec_stats ~config ~topology ~threads ~duration_cycles ~mix
         (* Exclude the single-threaded prefill (one batch per push) from
            the reported batching statistics. *)
         let baseline = Sec.stats stack in
-        let deadline = Int64.add (SP.now_ns ()) (Int64.of_int duration_cycles) in
-        for _ = 1 to threads do
-          Sec_sim.Sim.spawn (fun () ->
-              let tid = Sec_sim.Sim.fiber_id () in
-              while Int64.compare (SP.now_ns ()) deadline < 0 do
-                SP.relax loop_overhead;
-                match Workload.pick mix (SP.rand_int 100) with
-                | Workload.Push -> Sec.push stack ~tid (SP.rand_int value_range)
-                | Workload.Pop -> ignore (Sec.pop stack ~tid)
-                | Workload.Peek -> ignore (Sec.peek stack ~tid)
-              done)
-        done;
-        Sec_sim.Sim.await_all ();
+        let _ =
+          R.drive ~op_overhead:loop_overhead ~threads
+            ~stop:(R.Timed duration_cycles) ~mix ~value_range
+            ~push:(fun ~tid v -> Sec.push stack ~tid v)
+            ~pop:(fun ~tid -> Sec.pop stack ~tid)
+            ~peek:(fun ~tid -> Sec.peek stack ~tid)
+            ()
+        in
         Sec_core.Sec_stats.diff (Sec.stats stack) baseline)
   in
   stats
+
+(* Record an operation history under virtual time, for linearizability
+   checking of simulated executions. *)
+let run_recorded (module Maker : Registry.MAKER) ~topology ~threads
+    ~ops_per_thread ~mix ?(prefill = default_prefill)
+    ?(value_range = default_value_range) ?(seed = 1) () =
+  let (history, counts), _ =
+    Sec_sim.Sim.run ~seed ~jitter:bench_jitter ~topology (fun () ->
+        let _name, history, outcome =
+          R.run_recorded
+            (module Maker)
+            ~op_overhead:loop_overhead ~threads
+            ~stop:(R.Ops_per_thread ops_per_thread)
+            ~mix ~prefill ~value_range ()
+        in
+        (history, outcome.R.counts))
+  in
+  (history, counts)
+
+(* The paper's per-machine sweep points. *)
+let threads_for (topo : Sec_sim.Topology.t) =
+  match topo.Sec_sim.Topology.name with
+  | "emerald" -> [ 1; 2; 4; 8; 16; 28; 40; 56 ]
+  | "icelake" -> [ 1; 2; 4; 8; 16; 32; 48; 64; 96 ]
+  | "sapphire" -> [ 1; 2; 4; 8; 16; 32; 64; 96; 128; 192 ]
+  | _ -> [ 1; 2; 4; 8 ]
+
+let backend ~topology ~duration_cycles : (module Runner.BACKEND) =
+  (module struct
+    let label = "simulated " ^ topology.Sec_sim.Topology.name
+    let file_suffix = ""
+    let sweep_threads = threads_for topology
+
+    (* Pop-only sweeps measure sustained pop pressure, so the prefill must
+       outlast the window for every algorithm; otherwise the fast ones
+       drain the stack and the figure degenerates into empty-pop
+       throughput. *)
+    let prefill_for mix =
+      if mix.Workload.pop_pct = 100 then 50_000 else default_prefill
+
+    let latency_point = 28
+    let latency_unit = "cycles"
+
+    let run_mix maker ~threads ~mix ?(prefill = default_prefill) ?(seed = 1)
+        () =
+      run maker ~topology ~threads ~duration_cycles ~mix ~prefill ~seed ()
+
+    let run_latency maker ~threads ~mix ?(prefill = default_prefill)
+        ?(seed = 1) () =
+      run_latency_profile maker ~topology ~threads ~duration_cycles ~mix
+        ~prefill ~seed ()
+  end)

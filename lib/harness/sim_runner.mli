@@ -1,5 +1,7 @@
-(** Timed throughput runs inside the discrete-event simulator, at the
-    paper's 56/96/192 hardware-thread scales. Deterministic per seed. *)
+(** Simulator backend adapter over {!Runner.Make}: timed throughput runs
+    inside the discrete-event simulator, at the paper's 56/96/192
+    hardware-thread scales. Deterministic per seed; contains no workload
+    loop of its own. *)
 
 val default_prefill : int
 val default_value_range : int
@@ -49,3 +51,27 @@ val run_sec_stats :
   ?seed:int ->
   unit ->
   Sec_core.Sec_stats.t
+
+(** [run_recorded maker ~topology ~threads ~ops_per_thread ~mix ()] runs
+    a fixed number of operations per thread under virtual time, recording
+    an operation history for linearizability checking. Returns the
+    history and the per-thread completed-operation counts. *)
+val run_recorded :
+  (module Registry.MAKER) ->
+  topology:Sec_sim.Topology.t ->
+  threads:int ->
+  ops_per_thread:int ->
+  mix:Workload.mix ->
+  ?prefill:int ->
+  ?value_range:int ->
+  ?seed:int ->
+  unit ->
+  int Sec_spec.History.t * int array
+
+(** The paper's per-machine thread-count sweep points. *)
+val threads_for : Sec_sim.Topology.t -> int list
+
+(** The simulated benchmark backend ([duration_cycles] of virtual time
+    per data point), for backend-agnostic experiment definitions. *)
+val backend :
+  topology:Sec_sim.Topology.t -> duration_cycles:int -> (module Runner.BACKEND)

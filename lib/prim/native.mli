@@ -1,13 +1,26 @@
-(** Native implementation of {!Prim_intf.S}: real shared memory via
-    [Stdlib.Atomic], running on [Domain]s.
+(** Native implementation of {!Prim_intf.EXEC}: real shared memory via
+    [Stdlib.Atomic], workers running on [Domain]s.
 
     Spin loops must escalate to {!yield} (see {!Backoff}); this host may
     have fewer cores than domains, and a non-yielding spinner would burn
     its whole scheduling quantum while the thread it waits for is
-    descheduled. *)
+    descheduled.
 
-include Prim_intf.S
+    Execution: {!spawn} defers worker bodies; {!await_all} starts them on
+    real domains, releases them together through a start barrier, sleeps
+    out the current deadline (if any) before raising its stop flag, and
+    joins. Budgets are wall-clock seconds. *)
+
+include Prim_intf.EXEC with type budget = float
 
 (** Re-seed the calling thread's random generator (tests use this for
     reproducibility). *)
 val seed_rng : int64 -> unit
+
+(** [with_exec ~seed f] resets the execution context for one run: a fresh
+    run-level SplitMix64 stream is created from [seed], the caller's
+    generator and each subsequently spawned worker's generator are
+    {!Rng.split} from it in spawn order — the same per-fiber derivation
+    the simulator uses — and [f] is run. Runs must not nest or overlap;
+    the harness drives them sequentially. *)
+val with_exec : seed:int64 -> (unit -> 'a) -> 'a

@@ -58,3 +58,58 @@ module type S = sig
   (** 30 random bits from the per-thread generator. *)
   val rand_bits : unit -> int
 end
+
+(** {!S} plus an execution capability: the substrate can not only describe
+    shared memory but also run workers and bound a run in time. This is
+    what the harness's single workload driver ([Sec_harness.Runner.Make])
+    is written against, so the exact same prefill/announce/measure loop
+    executes on real domains and inside the simulator.
+
+    Implementations:
+    - {!Sec_prim.Native}: a deferred domain pool released by a start
+      barrier, with a stop flag flipped after a wall-clock sleep;
+    - [Sec_sim.Sim.Prim]: fibers of the discrete-event simulator, with
+      deadlines in virtual cycles.
+
+    Worker identity and randomness follow one scheme on both backends:
+    workers are numbered [0, 1, ...] in spawn order ({!EXEC.thread_id}),
+    and each worker's generator is an independent SplitMix64 stream
+    derived ([Rng.split]) from the run-level seed, so a run is
+    reproducible from (seed, spawn order) alone. *)
+module type EXEC = sig
+  include S
+
+  (** A run duration in the substrate's own unit: wall-clock seconds on
+      native hardware, virtual cycles in the simulator. *)
+  type budget
+
+  (** A ticking run bound, created before the workers start. *)
+  type deadline
+
+  val deadline_after : budget -> deadline
+
+  (** Cheap enough to poll once per benchmark-loop iteration: a stop-flag
+      read on native, a virtual-clock comparison in the simulator. *)
+  val expired : deadline -> bool
+
+  (** How long the workers actually ran, in {!budget} units, measured by
+      the backend. Meaningful once {!await_all} has returned. *)
+  val elapsed : deadline -> budget
+
+  (** Register a worker. Workers are released together (native: after a
+      start barrier; simulator: fibers share the spawner's virtual time)
+      and numbered [0, 1, ...] in spawn order. *)
+  val spawn : (unit -> unit) -> unit
+
+  (** Block the caller until every spawned worker has finished. On the
+      native backend this is also what starts the deferred workers and,
+      when a deadline exists, sleeps out its duration before raising the
+      stop flag. *)
+  val await_all : unit -> unit
+
+  (** The calling worker's id (its spawn rank). *)
+  val thread_id : unit -> int
+
+  (** Number of workers spawned so far in the current run. *)
+  val num_threads : unit -> int
+end

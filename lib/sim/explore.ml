@@ -255,6 +255,8 @@ and run_fiber ctx fiber body =
               Some
                 (fun k -> continue k (Sec_prim.Rng.bits ctx.rngs.(ctx.current)))
           | Sim_effects.Fiber_id -> Some (fun k -> continue k ctx.current)
+          | Sim_effects.Num_workers ->
+              Some (fun k -> continue k (Array.length ctx.rngs))
           | Sim_effects.Spawn _ ->
               Some
                 (fun _ ->
@@ -392,6 +394,7 @@ let run_one ctx scenario =
              | Sim_effects.Rand_bits ->
                  Some (fun k -> continue k (Sec_prim.Rng.bits ctx.setup_rng))
              | Sim_effects.Fiber_id -> Some (fun k -> continue k (-1))
+             | Sim_effects.Num_workers -> Some (fun k -> continue k 0)
              | _ -> None)
        }
    with e -> outcome := Raised (Printexc.to_string e));

@@ -210,6 +210,7 @@ and run_fiber ctx fiber body =
           | Rand_int n -> Some (fun k -> continue k (Sec_prim.Rng.int fiber.rng n))
           | Rand_bits -> Some (fun k -> continue k (Sec_prim.Rng.bits fiber.rng))
           | Fiber_id -> Some (fun k -> continue k fiber.fid)
+          | Num_workers -> Some (fun k -> continue k ctx.next_core)
           | Spawn body ->
               Some
                 (fun k ->

@@ -44,6 +44,8 @@ val await_all : unit -> unit
 (** Hardware-thread id of the calling worker fiber (-2 for main). *)
 val fiber_id : unit -> int
 
-(** The simulated execution substrate. Using it outside {!run} raises
-    [Effect.Unhandled]. *)
-module Prim : Sec_prim.Prim_intf.S
+(** The simulated execution substrate, including the execution capability
+    ({!Sec_prim.Prim_intf.EXEC}): budgets are virtual cycles, [spawn] and
+    [await_all] are the fiber operations above, and [thread_id] is
+    {!fiber_id}. Using it outside {!run} raises [Effect.Unhandled]. *)
+module Prim : Sec_prim.Prim_intf.EXEC with type budget = int

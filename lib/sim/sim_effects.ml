@@ -21,6 +21,7 @@ type _ Effect.t +=
   | Spawn : (unit -> unit) -> unit Effect.t
   | Await_all : unit Effect.t
   | Fiber_id : int Effect.t
+  | Num_workers : int Effect.t
 
 module Detect = struct
   type event = Make | Read | Write | Rmw | Cas of bool
@@ -39,7 +40,7 @@ module Detect = struct
         | Cas success -> on_cas d ~fiber ~loc ~success)
 end
 
-module Prim : Sec_prim.Prim_intf.S = struct
+module Prim : Sec_prim.Prim_intf.EXEC with type budget = int = struct
   module Atomic = struct
     type 'a t = { loc : int; mutable v : 'a }
 
@@ -98,4 +99,24 @@ module Prim : Sec_prim.Prim_intf.S = struct
   let now_ns () = Effect.perform Now
   let rand_int n = Effect.perform (Rand_int n)
   let rand_bits () = Effect.perform Rand_bits
+
+  (* Execution capability ({!Sec_prim.Prim_intf.EXEC}): budgets are virtual
+     cycles, and a deadline is just a target virtual time — the scheduler
+     already orders fibers by their clocks, so [expired] is a plain
+     comparison with no extra scheduling event. *)
+  type budget = int
+  type deadline = { until : int64; budget : int }
+
+  let deadline_after b =
+    { until = Int64.add (Effect.perform Now) (Int64.of_int b); budget = b }
+
+  let expired d = Int64.compare (Effect.perform Now) d.until >= 0
+
+  (* The run always spans exactly its budget in virtual time: fibers stop
+     at the first schedule point past [until]. *)
+  let elapsed d = d.budget
+  let spawn body = Effect.perform (Spawn body)
+  let await_all () = Effect.perform Await_all
+  let thread_id () = Effect.perform Fiber_id
+  let num_threads () = Effect.perform Num_workers
 end

@@ -5,7 +5,12 @@
    The checks are substrate-polymorphic: provide a {!RUNNER} saying how to
    execute a parallel phase (real domains, or fibers inside the simulator)
    and they drive any {!Stack_intf.S} through sequential-semantics,
-   conservation and duplicate-detection checks. *)
+   conservation and duplicate-detection checks.
+
+   For linearizability over a recorded history (rather than the invariant
+   checks here), the benchmark harness's [Sec_harness.Runner] records a
+   {!History} on either substrate via its history observer and feeds it to
+   {!Lin_check} — see [test/test_runner_diff.ml] and docs/HARNESS.md. *)
 
 module type RUNNER = sig
   module P : Sec_prim.Prim_intf.S

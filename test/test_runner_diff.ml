@@ -1,0 +1,63 @@
+(* Cross-backend differential test: the same registry entry and workload
+   mix, driven through the one Runner.Make loop on both execution
+   substrates. Checks that (a) the native backend's recorded history — a
+   real multi-domain execution with wall-clock timestamps — is
+   linearizable, and (b) both backends complete exactly the requested
+   operation count per thread. *)
+
+module H = Sec_harness
+
+let threads = 3
+let ops_per_thread = 8
+let mix = H.Workload.update_heavy
+
+let check_counts label counts =
+  Alcotest.(check (list int))
+    (label ^ ": per-thread op counts")
+    (List.init threads (fun _ -> ops_per_thread))
+    (Array.to_list counts)
+
+let check_history label history =
+  Alcotest.(check int)
+    (label ^ ": history records every op")
+    (threads * ops_per_thread)
+    (Sec_spec.History.length history);
+  match Sec_spec.Lin_check.check (Sec_spec.History.events history) with
+  | Sec_spec.Lin_check.Linearizable -> ()
+  | Sec_spec.Lin_check.Gave_up ->
+      (* Bounded search; should not happen at this size, but a give-up is
+         not a wrong verdict. *)
+      Printf.eprintf "lin_check gave up on %s history\n" label
+  | Sec_spec.Lin_check.Not_linearizable ->
+      Alcotest.failf "%s history not linearizable" label
+
+let run_native entry seed =
+  H.Native_runner.run_recorded entry.H.Registry.maker ~threads ~ops_per_thread
+    ~mix ~prefill:0 ~seed ()
+
+let run_sim entry seed =
+  H.Sim_runner.run_recorded entry.H.Registry.maker
+    ~topology:Sec_sim.Topology.testbox ~threads ~ops_per_thread ~mix ~prefill:0
+    ~seed ()
+
+let test_entry entry () =
+  List.iter
+    (fun seed ->
+      let native_history, native_counts = run_native entry seed in
+      check_counts "native" native_counts;
+      check_history "native" native_history;
+      let sim_history, sim_counts = run_sim entry seed in
+      check_counts "sim" sim_counts;
+      check_history "sim" sim_history)
+    [ 11; 12; 13 ]
+
+let () =
+  Alcotest.run "runner_diff"
+    [
+      ( "both backends, one loop",
+        [
+          Alcotest.test_case "SEC" `Quick (test_entry H.Registry.sec);
+          Alcotest.test_case "TRB" `Quick (test_entry H.Registry.treiber);
+          Alcotest.test_case "EB" `Quick (test_entry H.Registry.eb);
+        ] );
+    ]

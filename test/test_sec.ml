@@ -246,6 +246,38 @@ let qcheck_stats_percentages =
       abs_float (Stats.pct_eliminated st +. Stats.pct_combined st -. 100.)
       < 1e-9)
 
+(* Regression: more than [max_threads] announcements landing in one batch
+   used to trip [assert (seq < capacity)] — and, without the assert, write
+   past the elimination array — on the push path, because every retry FAAs
+   a fresh sequence number. Deterministically provoked in the simulator:
+   one aggregator, a long freeze window, six pushers into a stack sized
+   for two. Overflowing announcers must now wait out the batch and retry. *)
+let test_capacity_overflow () =
+  let module SP = Sec_sim.Sim.Prim in
+  let module SimSec = Sec_core.Sec_stack.Make (SP) in
+  let config =
+    { Config.num_aggregators = 1; freeze_backoff = 50_000; collect_stats = true }
+  in
+  let (popped, excluded), _ =
+    Sec_sim.Sim.run ~seed:7 ~topology:Sec_sim.Topology.testbox (fun () ->
+        let s = SimSec.create_with ~config ~max_threads:2 () in
+        for i = 1 to 6 do
+          Sec_sim.Sim.spawn (fun () -> SimSec.push s ~tid:(i mod 2) i)
+        done;
+        Sec_sim.Sim.await_all ();
+        let out = ref [] in
+        (try
+           while true do
+             match SimSec.pop s ~tid:0 with
+             | Some v -> out := v :: !out
+             | None -> raise Exit
+           done
+         with Exit -> ());
+        (List.sort compare !out, (SimSec.stats s).Stats.excluded))
+  in
+  Alcotest.(check (list int)) "all pushes land" [ 1; 2; 3; 4; 5; 6 ] popped;
+  Alcotest.(check bool) "overflow path exercised" true (excluded > 0)
+
 let test_tid_to_aggregator_coverage () =
   (* Every aggregator must receive traffic when tids cover [0, K). *)
   for aggs = 1 to 5 do
@@ -303,5 +335,7 @@ let () =
           QCheck_alcotest.to_alcotest qcheck_stats_percentages;
           Alcotest.test_case "aggregator coverage" `Quick
             test_tid_to_aggregator_coverage;
+          Alcotest.test_case "batch capacity overflow" `Quick
+            test_capacity_overflow;
         ] );
     ]
