@@ -1,8 +1,17 @@
-(* Command-line driver for the discipline lint: walk the given files and
-   directories (recursively, *.ml only), print every diagnostic as
-   file:line:col, exit non-zero if any were found. Wired into the build
-   as [dune build @lint], which [dune runtest] depends on — so a
-   discipline violation fails the tier-1 check. *)
+(* Command-line driver for the discipline lint.
+
+   Default mode: walk the given files and directories (recursively,
+   *.ml only), print every diagnostic as file:line:col, exit non-zero if
+   any were found. Wired into the build as [dune build @lint], which
+   [dune runtest] depends on — so a discipline violation fails the
+   tier-1 check.
+
+   Self-test mode: [sec_lint --selftest <dir>] checks the fixture files
+   under <dir> (discipline scope forced on) against their inline
+   "(* EXPECT rule *)" markers, failing on any missing or unexpected
+   diagnostic. Wired in as [dune build @lint-selftest]; it keeps the
+   rules honest — a rule that silently stops firing breaks the build,
+   same as one that starts flagging clean idioms. *)
 
 let rec gather path acc =
   if not (Sys.file_exists path) then begin
@@ -19,13 +28,7 @@ let rec gather path acc =
   else if Filename.check_suffix path ".ml" then path :: acc
   else acc
 
-let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  if args = [] then begin
-    prerr_endline "usage: sec_lint <file-or-directory>...";
-    exit 2
-  end;
-  let files = List.concat_map (fun p -> List.rev (gather p [])) args in
+let lint files =
   let diagnostics = List.concat_map Sec_lint_rules.Lint_rules.check_file files in
   List.iter
     (fun d ->
@@ -38,3 +41,99 @@ let () =
   | ds ->
       Printf.eprintf "sec_lint: %d diagnostic(s)\n" (List.length ds);
       exit 1
+
+(* --- self-test mode ------------------------------------------------ *)
+
+(* "(* EXPECT rule-name *)" anywhere in [line]. *)
+let expectation_of_line line =
+  let marker = "EXPECT " in
+  let ll = String.length line and lm = String.length marker in
+  let rec find i =
+    if i + lm > ll then None
+    else if String.sub line i lm = marker then begin
+      let stop = ref (i + lm) in
+      while
+        !stop < ll && line.[!stop] <> ' ' && line.[!stop] <> '*'
+        && line.[!stop] <> '\r'
+      do
+        incr stop
+      done;
+      if !stop > i + lm then Some (String.sub line (i + lm) (!stop - i - lm))
+      else None
+    end
+    else find (i + 1)
+  in
+  find 0
+
+let expectations_of_file path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let rec loop lnum acc =
+        match input_line ic with
+        | exception End_of_file -> List.rev acc
+        | line -> (
+            match expectation_of_line line with
+            | Some rule -> loop (lnum + 1) ((lnum, rule) :: acc)
+            | None -> loop (lnum + 1) acc)
+      in
+      loop 1 [])
+
+let selftest dir =
+  let files = List.rev (gather dir []) in
+  if files = [] then begin
+    Printf.eprintf "sec_lint --selftest: no .ml fixtures under %s\n" dir;
+    exit 2
+  end;
+  (* Fixtures are checked as if they lived in an algorithm directory. *)
+  let scope =
+    { Sec_lint_rules.Lint_rules.check_discipline = true; allow_obj = false }
+  in
+  let failures = ref 0 in
+  let expected_total = ref 0 in
+  List.iter
+    (fun file ->
+      let expected = expectations_of_file file in
+      expected_total := !expected_total + List.length expected;
+      let got =
+        List.map
+          (fun (d : Sec_lint_rules.Lint_rules.diagnostic) -> (d.line, d.rule))
+          (Sec_lint_rules.Lint_rules.check_file ~scope file)
+      in
+      List.iter
+        (fun (line, rule) ->
+          if not (List.mem (line, rule) got) then begin
+            incr failures;
+            Printf.printf "MISSING  %s:%d: expected [%s], lint was silent\n"
+              file line rule
+          end)
+        expected;
+      List.iter
+        (fun (line, rule) ->
+          if not (List.mem (line, rule) expected) then begin
+            incr failures;
+            Printf.printf
+              "SPURIOUS %s:%d: lint reported [%s], no EXPECT marker\n" file
+              line rule
+          end)
+        got)
+    files;
+  if !failures = 0 then begin
+    Printf.printf "sec_lint --selftest: %d fixtures, %d expectations, all ok\n"
+      (List.length files) !expected_total;
+    exit 0
+  end
+  else begin
+    Printf.eprintf "sec_lint --selftest: %d mismatch(es)\n" !failures;
+    exit 1
+  end
+
+let () =
+  match List.tl (Array.to_list Sys.argv) with
+  | [] | [ "--selftest" ] ->
+      prerr_endline
+        "usage: sec_lint <file-or-directory>... | sec_lint --selftest <dir>";
+      exit 2
+  | [ "--selftest"; dir ] -> selftest dir
+  | args -> lint (List.concat_map (fun p -> List.rev (gather p [])) args)

@@ -1,5 +1,5 @@
 (* Static enforcement of the repo's shared-memory discipline, over the
-   compiler-libs parsetree. Three rule classes (see docs/ANALYSIS.md):
+   compiler-libs parsetree. Five rule classes (see docs/ANALYSIS.md):
 
    1. [mutable-field] — algorithm modules (lib/stacks, lib/core,
       lib/reclaim, lib/funnel) may not declare [mutable] record fields
@@ -16,8 +16,24 @@
    3. [obj-confinement] — [Obj.*] is confined to lib/prim/padding.ml;
       everywhere else it can break the GC invariants padding relies on.
 
+   4. [ebr-guard] — in discipline modules that use [Ebr], a field read of
+      a node-typed record (any record type whose name contains "node")
+      must happen inside a syntactic [guard ...] call, or carry
+      [@unguarded_ok "why the caller holds the guard"]. The annotation
+      may sit on any enclosing expression (e.g. a helper's whole body):
+      it marks its subtree as guarded.
+
+   5. [retire-once] — in the same modules, a [retire] call must be
+      syntactically gated by an unlink CAS (the enclosing if-condition or
+      match-scrutinee contains [compare_and_set]), or carry
+      [@retire_ok "why the node is unlinked exactly once"]. Retiring a
+      node twice is the double-free of deferred reclamation; the dynamic
+      {!Sec_analysis.Reclaim_checker} catches the interleavings, this
+      rule catches the call sites.
+
    The checker is syntactic by design: it recognises the repo idiom
-   ([module A = P.Atomic], [A.make] / [Atomic.make]) rather than doing
+   ([module A = P.Atomic], [A.make] / [Atomic.make], [module Ebr =
+   Ebr.Make (P)], [Ebr.guard] / [Ebr.retire]) rather than doing
    type-driven analysis, which keeps it dependency-free and fast enough
    to run on every build. *)
 
@@ -31,7 +47,7 @@ type diagnostic = {
 
 type scope = {
   check_discipline : bool;
-      (* rules 1 and 2: algorithm modules written against Prim_intf *)
+      (* rules 1, 2, 4, 5: algorithm modules written against Prim_intf *)
   allow_obj : bool; (* rule 3 exemption: lib/prim/padding.ml *)
 }
 
@@ -88,9 +104,12 @@ let pos_of (loc : Location.t) =
   (p.Lexing.pos_lnum, p.Lexing.pos_cnum - p.Lexing.pos_bol)
 
 (* ------------------------------------------------------------------ *)
-(* The checker                                                          *)
+(* Idiom recognition                                                    *)
 
 let flatten_longident lid = Longident.flatten lid
+
+let last_component lid =
+  match List.rev (flatten_longident lid) with c :: _ -> c | [] -> ""
 
 (* [A.make] / [Atomic.make] / [P.Atomic.make]: the repo idiom for
    creating an atomic cell on the substrate. *)
@@ -104,11 +123,106 @@ let is_array_builder lid =
   | [ "Array"; ("make" | "init") ] -> true
   | _ -> false
 
+(* [Ebr.guard] / [E.guard] / bare [guard]: entering a critical section. *)
+let is_guard_call lid = last_component lid = "guard"
+let is_retire_call lid = last_component lid = "retire"
+let is_cas_ident lid = last_component lid = "compare_and_set"
+
+let contains_sub s sub =
+  let ls = String.length s and lb = String.length sub in
+  let rec scan i =
+    if i + lb > ls then false
+    else String.sub s i lb = sub || scan (i + 1)
+  in
+  scan 0
+
+(* The ebr rules apply only to modules that actually reference [Ebr]
+   (aliasing it, applying [Ebr.Make], or calling through it). *)
+let structure_uses_ebr structure =
+  let found = ref false in
+  let check_lid lid =
+    match flatten_longident lid with "Ebr" :: _ -> found := true | _ -> ()
+  in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } -> check_lid txt
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+      module_expr =
+        (fun it me ->
+          (match me.pmod_desc with
+          | Pmod_ident { txt; _ } -> check_lid txt
+          | _ -> ());
+          Ast_iterator.default_iterator.module_expr it me);
+    }
+  in
+  it.structure it structure;
+  !found
+
+(* Field names of reclaimable-node records: every record type whose name
+   contains "node". Dereferencing these is what the guard protects. *)
+let collect_node_fields structure =
+  let fields = Hashtbl.create 16 in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      type_declaration =
+        (fun it td ->
+          (match td.ptype_kind with
+          | Ptype_record labels
+            when contains_sub td.ptype_name.Location.txt "node" ->
+              List.iter
+                (fun ld -> Hashtbl.replace fields ld.pld_name.Location.txt ())
+                labels
+          | _ -> ());
+          Ast_iterator.default_iterator.type_declaration it td);
+    }
+  in
+  it.structure it structure;
+  fields
+
+let expr_contains_cas e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          (match e.pexp_desc with
+          | Pexp_ident { txt; _ } when is_cas_ident txt -> found := true
+          | _ -> ());
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                          *)
+
+(* Context threaded through the expression walk. *)
+type ctx = {
+  in_shared_block : bool;
+      (* inside a record literal or Array.make/init arguments (rule 2) *)
+  in_guard : bool; (* inside a [guard ...] call's arguments (rule 4) *)
+  in_cas_branch : bool;
+      (* inside a branch selected by a compare_and_set (rule 5) *)
+}
+
 let check_structure ~file ~scope structure =
   let diags = ref [] in
   let add loc rule message =
     let line, col = pos_of loc in
     diags := { file; line; col; rule; message } :: !diags
+  in
+
+  let ebr_rules = scope.check_discipline && structure_uses_ebr structure in
+  let node_fields =
+    if ebr_rules then collect_node_fields structure else Hashtbl.create 0
   in
 
   (* Rule 1: mutable record fields need [@plain_ok "..."]. *)
@@ -136,9 +250,7 @@ let check_structure ~file ~scope structure =
                      ld.pld_name.Location.txt)))
   in
 
-  (* Rule 2: [A.make]/[Atomic.make] results stored in records or arrays.
-     [in_shared_block] is true while visiting the arguments of a record
-     literal or an [Array.make]/[Array.init] call. *)
+  (* Rule 2: [A.make]/[Atomic.make] results stored in records or arrays. *)
   let check_unpadded loc =
     add loc "unpadded-atomic"
       "Atomic cell stored in a long-lived shared block is created with \
@@ -158,41 +270,105 @@ let check_structure ~file ~scope structure =
     | _ -> ()
   in
 
-  let rec expr ~in_shared_block (e : expression) =
-    let has_unpadded_ok () =
-      match find_attr "unpadded_ok" e.pexp_attributes with
+  (* Rule 4: node-field reads outside a guard extent. *)
+  let check_unguarded loc field =
+    add loc "ebr-guard"
+      (Printf.sprintf
+         "read of node field '%s' outside a guard extent in an EBR module: \
+          a concurrent retirement makes this a use-after-free; wrap the \
+          access in Ebr.guard, or annotate it [@unguarded_ok \"why the \
+          caller holds the guard\"]"
+         field)
+  in
+
+  (* Rule 5: retire calls not gated by an unlink CAS. *)
+  let check_retire loc =
+    add loc "retire-once"
+      "retire call not gated by an unlink compare_and_set: whoever loses \
+       the unlink race must not also retire the node (double-free); gate \
+       the call on the winning CAS, or annotate it [@retire_ok \"why the \
+       node is unlinked exactly once\"]"
+  in
+
+  let rec expr ctx (e : expression) =
+    let has_reason name =
+      match find_attr name e.pexp_attributes with
       | Some attr -> (
-          match string_payload attr with Some s -> String.trim s <> "" | None -> false)
+          match string_payload attr with
+          | Some s -> String.trim s <> ""
+          | None -> false)
       | None -> false
     in
+    (* [@unguarded_ok "..."] marks its whole subtree as guarded, so one
+       annotation can cover a helper body. *)
+    let ctx =
+      if has_reason "unguarded_ok" then { ctx with in_guard = true } else ctx
+    in
     match e.pexp_desc with
-    | Pexp_ident { txt; loc } ->
-        check_obj txt loc
+    | Pexp_ident { txt; loc } -> check_obj txt loc
+    | Pexp_field (inner, { txt = field; loc = floc }) ->
+        (if
+           ebr_rules && (not ctx.in_guard)
+           && Hashtbl.mem node_fields (last_component field)
+         then check_unguarded floc (last_component field));
+        expr ctx inner
     | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
         check_obj txt loc;
         (if
-           scope.check_discipline && in_shared_block
+           scope.check_discipline && ctx.in_shared_block
            && is_atomic_make txt
-           && not (has_unpadded_ok ())
+           && not (has_reason "unpadded_ok")
          then check_unpadded e.pexp_loc);
-        let arg_context =
-          (* Entering Array.make/Array.init arguments counts as entering
-             a shared block: the cells live together in one array. *)
-          in_shared_block || is_array_builder txt
+        (if
+           ebr_rules && is_retire_call txt
+           && (not ctx.in_cas_branch)
+           && not (has_reason "retire_ok")
+         then check_retire e.pexp_loc);
+        let arg_ctx =
+          {
+            ctx with
+            (* Entering Array.make/Array.init arguments counts as entering
+               a shared block: the cells live together in one array. *)
+            in_shared_block = ctx.in_shared_block || is_array_builder txt;
+            (* Entering a [guard] call's arguments enters its extent. *)
+            in_guard = ctx.in_guard || is_guard_call txt;
+          }
         in
-        List.iter (fun (_, a) -> expr ~in_shared_block:arg_context a) args
+        List.iter (fun (_, a) -> expr arg_ctx a) args
+    | Pexp_ifthenelse (cond, then_, else_) ->
+        expr ctx cond;
+        let branch_ctx =
+          if expr_contains_cas cond then { ctx with in_cas_branch = true }
+          else ctx
+        in
+        expr branch_ctx then_;
+        Option.iter (expr branch_ctx) else_
+    | Pexp_match (scrutinee, cases) ->
+        expr ctx scrutinee;
+        let branch_ctx =
+          if expr_contains_cas scrutinee then { ctx with in_cas_branch = true }
+          else ctx
+        in
+        List.iter
+          (fun c ->
+            Option.iter (expr branch_ctx) c.pc_guard;
+            expr branch_ctx c.pc_rhs)
+          cases
     | Pexp_record (fields, base) ->
-        Option.iter (expr ~in_shared_block) base;
-        List.iter (fun (_, v) -> expr ~in_shared_block:true v) fields
-    | Pexp_array items -> List.iter (expr ~in_shared_block:true) items
+        Option.iter (expr ctx) base;
+        List.iter
+          (fun (_, v) -> expr { ctx with in_shared_block = true } v)
+          fields
+    | Pexp_array items ->
+        List.iter (expr { ctx with in_shared_block = true }) items
     | _ ->
-        (* Generic descent that preserves the context flag:
+        (* Generic descent that preserves the context:
            [default_iterator.expr it e] iterates [e]'s children through
            [it.expr], i.e. back through this function. *)
         let it =
           {
             Ast_iterator.default_iterator with
-            expr = (fun _ child -> expr ~in_shared_block child);
+            expr = (fun _ child -> expr ctx child);
             type_declaration = (fun _ td -> type_declaration td);
           }
         in
@@ -204,10 +380,13 @@ let check_structure ~file ~scope structure =
     | _ -> ()
   in
 
+  let top_ctx =
+    { in_shared_block = false; in_guard = false; in_cas_branch = false }
+  in
   let iterator =
     {
       Ast_iterator.default_iterator with
-      expr = (fun _ e -> expr ~in_shared_block:false e);
+      expr = (fun _ e -> expr top_ctx e);
       type_declaration = (fun _ td -> type_declaration td);
     }
   in

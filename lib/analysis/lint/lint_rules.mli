@@ -1,11 +1,23 @@
 (** Static lint for the repo's shared-memory discipline.
 
-    Three rule classes, reported as [file:line:col] diagnostics:
+    Five rule classes, reported as [file:line:col] diagnostics:
     - [mutable-field]: no [mutable] record field in algorithm modules
       without [@plain_ok "publication argument"];
     - [unpadded-atomic]: atomics stored in long-lived shared blocks
       (records, arrays) must be [make_padded] or [@unpadded_ok "..."];
-    - [obj-confinement]: [Obj.*] only in [lib/prim/padding.ml].
+    - [obj-confinement]: [Obj.*] only in [lib/prim/padding.ml];
+    - [ebr-guard]: in discipline modules referencing [Ebr], reads of
+      node-record fields (record types named [*node*]) must sit inside a
+      syntactic [guard ...] call or under [@unguarded_ok "reason"] (the
+      annotation covers its whole subtree, so it can sit on a helper
+      body);
+    - [retire-once]: in the same modules, [retire] calls must be inside
+      a branch selected by a [compare_and_set] (the unlink CAS) or carry
+      [@retire_ok "reason"].
+
+    The two EBR rules are the static prong of the reclamation-safety
+    layer; {!Sec_analysis.Reclaim_checker} is the dynamic prong
+    (docs/ANALYSIS.md, "Reclamation prong").
 
     Run as [dune build @lint] via [bin/sec_lint]. *)
 
@@ -19,7 +31,9 @@ type diagnostic = {
 
 type scope = {
   check_discipline : bool;
-      (** apply the mutable-field and unpadded-atomic rules *)
+      (** apply the mutable-field, unpadded-atomic, ebr-guard and
+          retire-once rules (the latter two also require the module to
+          reference [Ebr]) *)
   allow_obj : bool;  (** exempt from obj-confinement *)
 }
 

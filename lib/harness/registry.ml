@@ -46,12 +46,23 @@ let tsi = { name = "TSI"; maker = (module Sec_stacks.Ts_stack.Make : MAKER) }
 let lock = { name = "LCK"; maker = (module Sec_stacks.Lock_stack.Make : MAKER) }
 let hsynch = { name = "HS"; maker = (module Sec_stacks.H_stack.Make : MAKER) }
 
+let treiber_ebr =
+  { name = "TRB-EBR"; maker = (module Sec_reclaim.Treiber_ebr.Make : MAKER) }
+
+let tsi_ebr =
+  { name = "TSI-EBR"; maker = (module Sec_reclaim.Ts_stack_ebr.Make : MAKER) }
+
 (* The six algorithms of the paper's comparison (Figure 2). *)
 let paper_set = [ sec; treiber; eb; fc; cc; tsi ]
 
-(* Extensions beyond the paper: spinlock baseline and hierarchical
-   (NUMA-aware) combining. *)
-let all = paper_set @ [ lock; hsynch ]
+(* Variants that pay for real (epoch-based) node reclamation, like the
+   C++ artifact does — benchmark these against their GC-backed twins to
+   expose the protocol cost (Section 4 methodology). *)
+let reclaimed_set = [ treiber_ebr; tsi_ebr ]
+
+(* Extensions beyond the paper: spinlock baseline, hierarchical
+   (NUMA-aware) combining, and the EBR-reclaimed variants. *)
+let all = paper_set @ [ lock; hsynch ] @ reclaimed_set
 
 (* SEC_Agg1 .. SEC_Agg5, the self-comparison of Figure 4. *)
 let sec_aggregator_sweep =

@@ -23,10 +23,23 @@ val lock : entry
 (** Hierarchical H-Synch combining (extension, not in the paper). *)
 val hsynch : entry
 
+(** Treiber with epoch-based reclamation ("TRB-EBR"): every operation
+    pays the EBR enter/exit and every pop retires its node, like the C++
+    artifact. *)
+val treiber_ebr : entry
+
+(** The interval timestamped stack with epoch-based reclamation
+    ("TSI-EBR", owner-only unlinking). *)
+val tsi_ebr : entry
+
 (** The six algorithms of the paper's comparison (Figure 2). *)
 val paper_set : entry list
 
-(** [paper_set] plus the spinlock baseline. *)
+(** The EBR-reclaimed variants ([treiber_ebr], [tsi_ebr]). *)
+val reclaimed_set : entry list
+
+(** [paper_set] plus the spinlock baseline, H-Synch and
+    [reclaimed_set]. *)
 val all : entry list
 
 (** SEC_Agg1 .. SEC_Agg5 (Figure 4's self-comparison). *)

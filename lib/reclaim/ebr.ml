@@ -13,14 +13,21 @@
    epoch reaches [e + 2], because every announcement then postdates the
    retirement. The epoch may only advance when every active thread has
    announced the current value. Retirement is per-thread (no shared limbo
-   lists); advancing and sweeping are amortised over retirements. *)
+   lists); advancing and sweeping are amortised over retirements.
+
+   When a {!Sec_analysis.Reclaim_checker} is installed (simulated
+   analysis runs), enter/exit/retire/destroy additionally feed its shadow
+   heap: [retire ~chk] ties a retirement to the checker-assigned node id,
+   so use-after-retire and double-retire become observable. With no
+   checker installed each hook is a single ref read. *)
 
 module Make (P : Sec_prim.Prim_intf.S) = struct
   module A = P.Atomic
+  module Chk = Sec_analysis.Reclaim_checker
 
   let quiescent = -1
 
-  type retired = { epoch : int; destroy : unit -> unit }
+  type retired = { epoch : int; chk : int; destroy : unit -> unit }
 
   type slot = {
     announce : int A.t; (* epoch the thread is reading under, or -1 *)
@@ -56,6 +63,7 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
      the epoch moved between read and announce, so that the announcement
      is never behind the epoch at entry. *)
   let enter t ~tid =
+    Chk.note_enter ~fiber:tid;
     let slot = t.slots.(tid) in
     let rec announce () =
       let e = A.get t.global_epoch in
@@ -64,7 +72,9 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     in
     announce ()
 
-  let exit t ~tid = A.set t.slots.(tid).announce quiescent
+  let exit t ~tid =
+    A.set t.slots.(tid).announce quiescent;
+    Chk.note_exit ~fiber:tid
 
   (* The epoch can advance only when no thread is still reading under an
      older one. *)
@@ -87,12 +97,17 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     List.iter
       (fun r ->
         r.destroy ();
+        Chk.note_reclaim ~fiber:tid ~node:r.chk;
         slot.reclaimed <- slot.reclaimed + 1)
       free
 
-  let retire t ~tid destroy =
+  (* [chk] is the checker-assigned id of the node being retired (0 /
+     absent when the caller is not instrumented or no checker ran at
+     allocation time). *)
+  let retire t ~tid ?(chk = 0) destroy =
+    Chk.note_retire ~fiber:tid ~node:chk;
     let slot = t.slots.(tid) in
-    slot.limbo <- { epoch = A.get t.global_epoch; destroy } :: slot.limbo;
+    slot.limbo <- { epoch = A.get t.global_epoch; chk; destroy } :: slot.limbo;
     slot.retire_count <- slot.retire_count + 1;
     if slot.retire_count mod t.sweep_threshold = 0 then begin
       try_advance t;
@@ -110,13 +125,26 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
         exit t ~tid;
         raise exn
 
-  (* Reclaim whatever is reclaimable now, e.g. at shutdown. Keeps trying
-     to advance so that recently retired objects age out; objects retired
-     under the current epoch need two advances. *)
+  (* Reclaim whatever is reclaimable now, e.g. at shutdown: sweep, then
+     advance-and-sweep until either this thread's limbo list is empty or
+     the epoch stops moving (an active reader pins it). Idempotent — with
+     an empty limbo list it is a no-op (in particular it does not advance
+     the epoch), and calling it again can only reclaim more, never less.
+     With no readers active it always drains completely: objects retired
+     under the current epoch age out after two advances. *)
   let flush t ~tid =
-    try_advance t;
-    try_advance t;
-    sweep t ~tid
+    sweep t ~tid;
+    let rec drain () =
+      if t.slots.(tid).limbo <> [] then begin
+        let e = A.get t.global_epoch in
+        try_advance t;
+        if A.get t.global_epoch <> e then begin
+          sweep t ~tid;
+          drain ()
+        end
+      end
+    in
+    drain ()
 
   let epoch t = A.get t.global_epoch
 

@@ -4,7 +4,12 @@
     Usage per thread [tid]: wrap reads of shared nodes in
     [guard t ~tid (fun () -> ...)]; call [retire t ~tid destroy] on nodes
     unlinked from the structure. [destroy] runs once the global epoch has
-    advanced twice past the retirement. *)
+    advanced twice past the retirement.
+
+    Under the simulated substrate an installed
+    {!Sec_analysis.Reclaim_checker} is fed by enter/exit/retire/destroy,
+    making guard-discipline and lifetime bugs observable; see
+    docs/ANALYSIS.md ("Reclamation prong"). *)
 
 module Make (_ : Sec_prim.Prim_intf.S) : sig
   type t
@@ -20,8 +25,11 @@ module Make (_ : Sec_prim.Prim_intf.S) : sig
 
   (** [retire t ~tid destroy] defers [destroy] until safe. Amortised: every
       [sweep_threshold] retirements also tries to advance the epoch and
-      sweeps this thread's limbo list. *)
-  val retire : t -> tid:int -> (unit -> unit) -> unit
+      sweeps this thread's limbo list. [chk] is the reclamation checker's
+      id for the retired node (from
+      {!Sec_analysis.Reclaim_checker.note_alloc}); omit it (or pass 0)
+      for untracked callers. *)
+  val retire : t -> tid:int -> ?chk:int -> (unit -> unit) -> unit
 
   (** [guard t ~tid f] runs [f] between {!enter} and {!exit},
       exception-safely. *)
@@ -31,8 +39,12 @@ module Make (_ : Sec_prim.Prim_intf.S) : sig
       thread has announced it). *)
   val try_advance : t -> unit
 
-  (** Advance as far as possible and sweep the caller's limbo list; for
-      shutdown and tests. *)
+  (** Sweep the caller's limbo list, then advance-and-sweep until it is
+      empty or an active reader pins the epoch; for shutdown and tests.
+      Idempotent: with nothing pending it is a no-op (the epoch does not
+      move), and repeated calls only ever reclaim more. Once every thread
+      is quiescent, flushing each thread leaves [stats t] with
+      [pending = 0]. *)
   val flush : t -> tid:int -> unit
 
   val epoch : t -> int

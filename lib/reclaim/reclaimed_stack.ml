@@ -4,14 +4,25 @@
    the popping thread. In C++ the deferred destructor frees the node; in
    OCaml the GC frees memory, so the destructor instead releases whatever
    external resource rides on the node (and the tests use it to prove no
-   node is destroyed while a reader might still hold it). *)
+   node is destroyed while a reader might still hold it).
+
+   Every node carries a shadow-heap id ([chk], 0 outside analysis runs)
+   and each lifecycle step notifies the reclamation checker, so
+   [Explore.for_all ~check_reclamation:true] can verify the guard and
+   retire discipline — see docs/ANALYSIS.md ("Reclamation prong"). *)
 
 module Make (P : Sec_prim.Prim_intf.S) = struct
   module A = P.Atomic
   module Backoff = Sec_prim.Backoff.Make (P)
   module Ebr = Ebr.Make (P)
+  module Chk = Sec_analysis.Reclaim_checker
 
-  type 'a node = { value : 'a; next : 'a node option; on_reclaim : unit -> unit }
+  type 'a node = {
+    value : 'a;
+    next : 'a node option;
+    on_reclaim : unit -> unit;
+    chk : int; (* reclamation-checker node id; 0 when untracked *)
+  }
 
   type 'a t = { top : 'a node option A.t; ebr : Ebr.t }
 
@@ -23,12 +34,14 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
   let push t ~tid v ~on_reclaim =
     let backoff = Backoff.create () in
     Ebr.guard t.ebr ~tid (fun () ->
+        let chk = Chk.note_alloc ~fiber:tid in
         let rec attempt () =
           let cur = A.get t.top in
-          if not
-               (A.compare_and_set t.top cur
-                  (Some { value = v; next = cur; on_reclaim }))
-          then begin
+          if
+            A.compare_and_set t.top cur
+              (Some { value = v; next = cur; on_reclaim; chk })
+          then Chk.note_publish ~fiber:tid ~node:chk
+          else begin
             Backoff.once backoff;
             attempt ()
           end
@@ -42,8 +55,10 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
           match A.get t.top with
           | None -> None
           | Some n as cur ->
+              Chk.note_access ~fiber:tid ~node:n.chk;
               if A.compare_and_set t.top cur n.next then begin
-                Ebr.retire t.ebr ~tid n.on_reclaim;
+                Chk.note_unlink ~fiber:tid ~node:n.chk;
+                Ebr.retire t.ebr ~tid ~chk:n.chk n.on_reclaim;
                 Some n.value
               end
               else begin
@@ -55,7 +70,11 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
 
   let peek t ~tid =
     Ebr.guard t.ebr ~tid (fun () ->
-        match A.get t.top with None -> None | Some n -> Some n.value)
+        match A.get t.top with
+        | None -> None
+        | Some n ->
+            Chk.note_access ~fiber:tid ~node:n.chk;
+            Some n.value)
 
   (* Drain deferred destructors (shutdown / tests). *)
   let flush t ~tid = Ebr.flush t.ebr ~tid

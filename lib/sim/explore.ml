@@ -46,6 +46,8 @@ type violation_kind =
   | Fiber_raised of string  (** a fiber or the check raised *)
   | Livelock  (** a schedule exceeded the per-run step budget *)
   | Race_detected of string  (** the race detector flagged this schedule *)
+  | Reclamation_violation of string
+      (** the reclamation checker flagged this schedule *)
 
 type violation = {
   kind : violation_kind;
@@ -70,6 +72,7 @@ let pp_result ppf = function
         | Fiber_raised msg -> "raised: " ^ msg
         | Livelock -> "livelock"
         | Race_detected msg -> "race: " ^ msg
+        | Reclamation_violation msg -> "reclamation: " ^ msg
       in
       Format.fprintf ppf "FAILED after %d schedules (%s) at preemptions [%s]"
         explored kind_str
@@ -366,6 +369,10 @@ let run_one ctx scenario =
           ctx.fibers;
         Sec_analysis.Race_detector.on_join d ~fiber:(-1)
     | None -> ());
+    (* Guard-leak detection at fiber completion — except on livelock,
+       where abandoned fibers legitimately still hold their guards. *)
+    if not ctx.livelocked then
+      Array.iteri (fun i _ -> Sim_effects.Reclaim.on_fiber_exit i) ctx.fibers;
     if ctx.livelocked then outcome := Livelocked
     else outcome := Ok_run (check ())
   in
@@ -432,7 +439,7 @@ exception Stop of violation
 
 let for_all ?(max_preemptions = 1) ?(quantum = 8) ?(max_schedules = 20_000)
     ?(max_steps = 50_000) ?(strategy = `Exhaustive) ?(detect_races = false)
-    scenario =
+    ?(check_reclamation = false) scenario =
   let explored = ref 0 in
   let truncated = ref false in
   let rec dfs placements =
@@ -444,7 +451,7 @@ let for_all ?(max_preemptions = 1) ?(quantum = 8) ?(max_schedules = 20_000)
         make_ctx ~strategy ~quantum ~max_steps ~placements ~collecting
           ~max_extensions:4_096
       in
-      let outcome, races =
+      let run_monitored () =
         if detect_races then begin
           let d = Sec_analysis.Race_detector.create () in
           let o =
@@ -455,6 +462,16 @@ let for_all ?(max_preemptions = 1) ?(quantum = 8) ?(max_schedules = 20_000)
         end
         else (run_one ctx scenario, [])
       in
+      let (outcome, races), lifetime_bugs =
+        if check_reclamation then begin
+          let c = Sec_analysis.Reclaim_checker.create () in
+          let r =
+            Sec_analysis.Reclaim_checker.with_checker c run_monitored
+          in
+          (r, Sec_analysis.Reclaim_checker.reports c)
+        end
+        else (run_monitored (), [])
+      in
       let fail kind =
         raise (Stop { kind; schedule = placements; explored = !explored })
       in
@@ -462,11 +479,17 @@ let for_all ?(max_preemptions = 1) ?(quantum = 8) ?(max_schedules = 20_000)
       | hz :: _ ->
           fail (Race_detected (Sec_analysis.Race_detector.hazard_to_string hz))
       | [] -> (
-          match outcome with
-          | Raised msg -> fail (Fiber_raised msg)
-          | Livelocked -> fail Livelock
-          | Ok_run false -> fail Check_failed
-          | Ok_run true -> ()));
+          match lifetime_bugs with
+          | r :: _ ->
+              fail
+                (Reclamation_violation
+                   (Sec_analysis.Reclaim_checker.report_to_string r))
+          | [] -> (
+              match outcome with
+              | Raised msg -> fail (Fiber_raised msg)
+              | Livelocked -> fail Livelock
+              | Ok_run false -> fail Check_failed
+              | Ok_run true -> ())));
       if ctx.extensions_truncated then truncated := true;
       List.iter
         (fun (step, alts) ->
@@ -482,14 +505,20 @@ let for_all ?(max_preemptions = 1) ?(quantum = 8) ?(max_schedules = 20_000)
 
 (* Replay a specific schedule (e.g. a reported violation) once and return
    the check's verdict — for debugging a failure interactively. With
-   [detector], the run feeds it (install is handled here). *)
-let replay ?(quantum = 8) ?(max_steps = 50_000) ?detector ~schedule scenario =
+   [detector] and/or [reclaim_checker], the run feeds them (install is
+   handled here). *)
+let replay ?(quantum = 8) ?(max_steps = 50_000) ?detector ?reclaim_checker
+    ~schedule scenario =
   let ctx =
     make_ctx ~strategy:`Exhaustive ~quantum ~max_steps ~placements:schedule
       ~collecting:false ~max_extensions:0
   in
+  let go () = run_one ctx scenario in
+  let go =
+    match reclaim_checker with
+    | Some c -> fun () -> Sec_analysis.Reclaim_checker.with_checker c go
+    | None -> go
+  in
   match detector with
-  | Some d ->
-      Sec_analysis.Race_detector.with_detector d (fun () ->
-          run_one ctx scenario)
-  | None -> run_one ctx scenario
+  | Some d -> Sec_analysis.Race_detector.with_detector d go
+  | None -> go ()

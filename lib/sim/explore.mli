@@ -29,6 +29,9 @@ type violation_kind =
   | Livelock  (** a schedule exceeded the per-run step budget *)
   | Race_detected of string
       (** the race detector flagged this schedule (with [detect_races]) *)
+  | Reclamation_violation of string
+      (** the reclamation checker flagged this schedule (with
+          [check_reclamation]) *)
 
 type violation = {
   kind : violation_kind;
@@ -60,7 +63,13 @@ val schedule_of_string : string -> placement list
 
     [detect_races] monitors every run with a fresh
     {!Sec_analysis.Race_detector}; a write-write race fails the search
-    with {!Race_detected} even when the scenario's check passes. *)
+    with {!Race_detected} even when the scenario's check passes.
+
+    [check_reclamation] likewise monitors every run with a fresh
+    {!Sec_analysis.Reclaim_checker}: instrumented reclamation code feeds
+    its shadow heap and any lifetime report (use-after-retire, unguarded
+    access, double retire, ...) fails the search with
+    {!Reclamation_violation} and a reproducing schedule. *)
 val for_all :
   ?max_preemptions:int ->
   ?quantum:int ->
@@ -68,17 +77,20 @@ val for_all :
   ?max_steps:int ->
   ?strategy:strategy ->
   ?detect_races:bool ->
+  ?check_reclamation:bool ->
   (unit -> (unit -> unit) list * (unit -> bool)) ->
   result
 
 type one_outcome = Ok_run of bool | Raised of string | Livelocked
 
 (** Replay one specific schedule (e.g. a reported violation). With
-    [detector], the run feeds it; inspect it afterwards. *)
+    [detector] and/or [reclaim_checker], the run feeds them; inspect
+    them afterwards. *)
 val replay :
   ?quantum:int ->
   ?max_steps:int ->
   ?detector:Sec_analysis.Race_detector.t ->
+  ?reclaim_checker:Sec_analysis.Reclaim_checker.t ->
   schedule:placement list ->
   (unit -> (unit -> unit) list * (unit -> bool)) ->
   one_outcome

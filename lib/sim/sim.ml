@@ -180,6 +180,7 @@ and run_fiber ctx fiber body =
           (match ctx.det with
           | Some d -> Sec_analysis.Race_detector.on_exit d ~fiber:fiber.fid
           | None -> ());
+          Sim_effects.Reclaim.on_fiber_exit fiber.fid;
           schedule ctx);
       exnc = raise;
       effc =
@@ -254,7 +255,7 @@ and run_fiber ctx fiber body =
 (* ------------------------------------------------------------------ *)
 (* Public API                                                           *)
 
-let run ?(seed = 42) ?(jitter = 0) ?detector ~topology f =
+let run ?(seed = 42) ?(jitter = 0) ?detector ?reclaim_checker ~topology f =
   let ctx =
     {
       topo = topology;
@@ -282,6 +283,11 @@ let run ?(seed = 42) ?(jitter = 0) ?detector ~topology f =
     }
   in
   let start () = run_fiber ctx main (fun () -> result := Some (f ())) in
+  let start =
+    match reclaim_checker with
+    | Some c -> fun () -> Sec_analysis.Reclaim_checker.with_checker c start
+    | None -> start
+  in
   (match detector with
   | Some d -> Sec_analysis.Race_detector.with_detector d start
   | None -> start ());

@@ -24,11 +24,17 @@ type stats = {
     When [detector] is given it is installed for the duration of the run:
     every atomic access feeds its happens-before tracker, and spawn /
     exit / join edges are recorded. Inspect it afterwards with
-    {!Sec_analysis.Race_detector.races}. *)
+    {!Sec_analysis.Race_detector.races}.
+
+    When [reclaim_checker] is given it is likewise installed for the
+    duration: instrumented reclamation code (lib/reclaim) feeds its
+    shadow heap, and fiber completion is reported so leaked guards are
+    caught. Inspect it with {!Sec_analysis.Reclaim_checker.reports}. *)
 val run :
   ?seed:int ->
   ?jitter:int ->
   ?detector:Sec_analysis.Race_detector.t ->
+  ?reclaim_checker:Sec_analysis.Reclaim_checker.t ->
   topology:Topology.t ->
   (unit -> 'a) ->
   'a * stats

@@ -40,6 +40,19 @@ module Detect = struct
         | Cas success -> on_cas d ~fiber ~loc ~success)
 end
 
+module Reclaim = struct
+  (* Fiber-exit notification for the reclamation checker
+     ({!Sec_analysis.Reclaim_checker}): a fiber that finishes while still
+     inside an EBR critical section pins the epoch forever. Both
+     schedulers call this when a fiber completes; the checker's other
+     events are fed directly by instrumented algorithm code through the
+     [note_*] hooks. *)
+  let on_fiber_exit fid =
+    match !Sec_analysis.Reclaim_checker.active with
+    | None -> ()
+    | Some c -> Sec_analysis.Reclaim_checker.on_fiber_exit c ~fiber:fid
+end
+
 module Prim : Sec_prim.Prim_intf.EXEC with type budget = int = struct
   module Atomic = struct
     type 'a t = { loc : int; mutable v : 'a }

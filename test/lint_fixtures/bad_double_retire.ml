@@ -1,0 +1,26 @@
+(* retire-once: this pop retires whether or not it won the unlink CAS
+   (the result is thrown away), so two racing poppers can both retire
+   the same node — the double-free of deferred reclamation. *)
+module A = Atomic
+module E = Ebr.Make (Prim)
+
+type 'a node = { value : 'a; next : 'a node option; chk : int }
+type 'a t = { top : 'a node option A.t; ebr : E.t }
+
+let pop t ~tid =
+  E.guard t.ebr ~tid (fun () ->
+      let rec attempt () =
+        match A.get t.top with
+        | None -> None
+        | Some n ->
+            ignore (A.compare_and_set t.top (Some n) n.next);
+            E.retire t.ebr ~tid (fun () -> ()); (* EXPECT retire-once *)
+            Some n.value
+      in
+      attempt ())
+
+(* Annotated single-owner teardown: accepted. *)
+let drop t ~tid node =
+  E.guard t.ebr ~tid (fun () ->
+      ignore node;
+      (E.retire t.ebr ~tid (fun () -> ()) [@retire_ok "single-owner teardown"]))

@@ -1,0 +1,38 @@
+(* ebr-guard: a reclaimed Treiber stack whose pop/peek lost their
+   [Ebr.guard] wrapper — every node-field read in them is a potential
+   use-after-free and must be flagged. push keeps its guard and must
+   stay clean. *)
+module A = Atomic
+module E = Ebr.Make (Prim)
+
+type 'a node = { value : 'a; next : 'a node option; chk : int }
+type 'a t = { top : 'a node option A.t; ebr : E.t }
+
+let push t ~tid v =
+  E.guard t.ebr ~tid (fun () ->
+      let rec attempt () =
+        let cur = A.get t.top in
+        if A.compare_and_set t.top cur (Some { value = v; next = cur; chk = 0 })
+        then ()
+        else attempt ()
+      in
+      attempt ())
+
+let pop t ~tid =
+  let rec attempt () =
+    match A.get t.top with
+    | None -> None
+    | Some n ->
+        if A.compare_and_set t.top (Some n) n.next (* EXPECT ebr-guard *)
+        then begin
+          E.retire t.ebr ~tid (fun () -> ());
+          Some n.value (* EXPECT ebr-guard *)
+        end
+        else attempt ()
+  in
+  attempt ()
+
+let peek t =
+  match A.get t.top with
+  | None -> None
+  | Some n -> Some n.value (* EXPECT ebr-guard *)

@@ -1,0 +1,17 @@
+(* mutable-field: plain mutable fields in a discipline module must carry
+   a [@plain_ok "publication argument"]. *)
+module A = Atomic
+
+type 'a t = {
+  mutable size : int; (* EXPECT mutable-field *)
+  top : 'a list A.t;
+}
+
+type 'a scratch = {
+  mutable bare : 'a option [@plain_ok ""]; (* EXPECT mutable-field *)
+  mutable cache : 'a option [@plain_ok "thread-private scratch"];
+  id : int;
+}
+
+let create () = { size = 0; top = A.make_padded [] }
+let grow t = t.size <- t.size + 1

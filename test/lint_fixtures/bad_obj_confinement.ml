@@ -1,0 +1,5 @@
+(* obj-confinement: Obj.* belongs in lib/prim/padding.ml only. *)
+
+let inspect x = Obj.repr x (* EXPECT obj-confinement *)
+
+let launder (x : int) : int = Obj.magic x (* EXPECT obj-confinement *)

@@ -1,0 +1,15 @@
+(* unpadded-atomic: Atomic cells created with plain [make] and stored in
+   long-lived shared blocks (records, arrays) false-share cache lines. *)
+module A = Atomic
+
+type t = { slot : int A.t }
+
+let create () = { slot = A.make 0 } (* EXPECT unpadded-atomic *)
+
+let table () = Array.init 4 (fun _ -> A.make 0) (* EXPECT unpadded-atomic *)
+
+let annotated () = { slot = (A.make 0 [@unpadded_ok "short-lived scratch"]) }
+let padded () = { slot = A.make_padded 0 }
+
+(* Not stored in a shared block: fine. *)
+let local () = A.make 0

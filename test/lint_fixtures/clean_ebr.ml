@@ -1,0 +1,33 @@
+(* Clean EBR module: correct guard/retire discipline plus both
+   annotation forms. The self-test asserts the lint reports nothing
+   here — this file pins the rules' false-positive behaviour. *)
+module A = Atomic
+module E = Ebr.Make (Prim)
+
+type 'a node = { value : 'a; next : 'a node option A.t }
+type 'a t = { top : 'a node option A.t; ebr : E.t }
+
+(* Helper-body annotation: one [@unguarded_ok] covers the whole scan. *)
+let rec youngest n =
+  (match n with
+  | None -> None
+  | Some n -> youngest (A.get n.next))
+  [@unguarded_ok "callers hold the guard across the whole scan"]
+
+let pop t ~tid =
+  E.guard t.ebr ~tid (fun () ->
+      let rec attempt () =
+        match A.get t.top with
+        | None -> None
+        | Some n as cur ->
+            if A.compare_and_set t.top cur (A.get n.next) then begin
+              E.retire t.ebr ~tid (fun () -> ());
+              Some n.value
+            end
+            else attempt ()
+      in
+      attempt ())
+
+let peek t ~tid =
+  E.guard t.ebr ~tid (fun () ->
+      match A.get t.top with None -> None | Some n -> Some n.value)

@@ -15,6 +15,8 @@ let result_kind = function
   | Explore.Failed { kind = Explore.Fiber_raised _; _ } -> "raised"
   | Explore.Failed { kind = Explore.Livelock; _ } -> "livelock"
   | Explore.Failed { kind = Explore.Race_detected _; _ } -> "race"
+  | Explore.Failed { kind = Explore.Reclamation_violation _; _ } ->
+      "reclamation"
 
 (* -------------------------------------------------------------------- *)
 (* The happens-before model, fed event by event. Location ids and fiber
@@ -235,6 +237,146 @@ let sweep_cases =
         `Slow (sweep_stack entry))
     Registry.paper_set
 
+(* -------------------------------------------------------------------- *)
+(* The reclamation shadow heap, fed event by event (the dynamic prong of
+   the reclamation-safety layer; its integration with Explore is tested
+   in test_reclaim.ml). *)
+
+module RC = Sec_analysis.Reclaim_checker
+
+let kinds c = List.map (fun r -> r.RC.kind) (RC.reports c)
+
+let test_shadow_clean_lifecycle_silent () =
+  let c = RC.create () in
+  let n = RC.on_alloc c ~fiber:0 in
+  RC.on_enter c ~fiber:0;
+  RC.on_publish c ~fiber:0 ~node:n;
+  RC.on_access c ~fiber:0 ~node:n;
+  RC.on_unlink c ~fiber:0 ~node:n;
+  RC.on_retire c ~fiber:0 ~node:n;
+  RC.on_exit c ~fiber:0;
+  RC.on_reclaim c ~fiber:0 ~node:n;
+  RC.on_fiber_exit c ~fiber:0;
+  Alcotest.(check int) "full lifecycle is silent" 0
+    (List.length (RC.reports c))
+
+let test_shadow_use_after_retire () =
+  (* EBR protects references obtained before the retirement; a guard
+     entered after it protects nothing. *)
+  let c = RC.create () in
+  let n = RC.on_alloc c ~fiber:0 in
+  RC.on_publish c ~fiber:0 ~node:n;
+  RC.on_unlink c ~fiber:0 ~node:n;
+  RC.on_retire c ~fiber:0 ~node:n;
+  RC.on_enter c ~fiber:1;
+  RC.on_access c ~fiber:1 ~node:n;
+  match RC.reports c with
+  | [ r ] ->
+      Alcotest.(check bool) "kind" true (r.RC.kind = RC.Use_after_retire);
+      Alcotest.(check int) "accessor" 1 r.RC.fiber;
+      Alcotest.(check int) "retirer" 0 r.RC.other_fiber
+  | rs -> Alcotest.failf "expected one report, got %d" (List.length rs)
+
+let test_shadow_early_guard_protects () =
+  (* The same access is legal when the guard predates the retirement —
+     that is exactly the reference EBR keeps alive. *)
+  let c = RC.create () in
+  let n = RC.on_alloc c ~fiber:0 in
+  RC.on_publish c ~fiber:0 ~node:n;
+  RC.on_enter c ~fiber:1;
+  RC.on_unlink c ~fiber:0 ~node:n;
+  RC.on_retire c ~fiber:0 ~node:n;
+  RC.on_access c ~fiber:1 ~node:n;
+  Alcotest.(check int) "guarded-before-retire access is silent" 0
+    (List.length (RC.reports c))
+
+let test_shadow_use_after_reclaim () =
+  let c = RC.create () in
+  let n = RC.on_alloc c ~fiber:0 in
+  RC.on_publish c ~fiber:0 ~node:n;
+  RC.on_unlink c ~fiber:0 ~node:n;
+  RC.on_retire c ~fiber:0 ~node:n;
+  RC.on_reclaim c ~fiber:0 ~node:n;
+  RC.on_enter c ~fiber:1;
+  RC.on_access c ~fiber:1 ~node:n;
+  Alcotest.(check (list bool)) "use-after-reclaim even under a guard"
+    [ true ]
+    (List.map (fun k -> k = RC.Use_after_reclaim) (kinds c))
+
+let test_shadow_unguarded_access () =
+  let c = RC.create () in
+  let n = RC.on_alloc c ~fiber:0 in
+  RC.on_publish c ~fiber:0 ~node:n;
+  RC.on_access c ~fiber:1 ~node:n;
+  Alcotest.(check (list bool)) "published node needs a guard" [ true ]
+    (List.map (fun k -> k = RC.Unguarded_access) (kinds c));
+  (* A node still private to its allocator is exempt. *)
+  let c' = RC.create () in
+  let m = RC.on_alloc c' ~fiber:0 in
+  RC.on_access c' ~fiber:0 ~node:m;
+  Alcotest.(check int) "allocated-private access is silent" 0
+    (List.length (RC.reports c'))
+
+let test_shadow_retire_while_reachable () =
+  let c = RC.create () in
+  let n = RC.on_alloc c ~fiber:0 in
+  RC.on_publish c ~fiber:0 ~node:n;
+  RC.on_retire c ~fiber:0 ~node:n;
+  Alcotest.(check (list bool)) "retired while still published" [ true ]
+    (List.map (fun k -> k = RC.Retire_while_reachable) (kinds c))
+
+let test_shadow_double_retire () =
+  let c = RC.create () in
+  let n = RC.on_alloc c ~fiber:0 in
+  RC.on_publish c ~fiber:0 ~node:n;
+  RC.on_unlink c ~fiber:0 ~node:n;
+  RC.on_retire c ~fiber:0 ~node:n;
+  RC.on_retire c ~fiber:1 ~node:n;
+  match kinds c with
+  | [ RC.Double_retire ] ->
+      let r = List.hd (RC.reports c) in
+      Alcotest.(check int) "second retirer reported" 1 r.RC.fiber;
+      Alcotest.(check int) "first retirer is the other party" 0
+        r.RC.other_fiber
+  | ks -> Alcotest.failf "expected [Double_retire], got %d" (List.length ks)
+
+let test_shadow_epoch_stall () =
+  let c = RC.create ~stall_bound:2 () in
+  RC.on_enter c ~fiber:1;
+  (* fiber 1 now pins the epoch *)
+  for _ = 1 to 4 do
+    let n = RC.on_alloc c ~fiber:0 in
+    RC.on_publish c ~fiber:0 ~node:n;
+    RC.on_unlink c ~fiber:0 ~node:n;
+    RC.on_retire c ~fiber:0 ~node:n
+  done;
+  (* Reported once the backlog passes the bound, throttled thereafter. *)
+  Alcotest.(check (list bool)) "stall reported once" [ true ]
+    (List.map (fun k -> k = RC.Epoch_stalled) (kinds c));
+  let r = List.hd (RC.reports c) in
+  Alcotest.(check int) "the pinning fiber is named" 1 r.RC.other_fiber
+
+let test_shadow_guard_leak () =
+  let c = RC.create () in
+  RC.on_exit c ~fiber:0;
+  (* unbalanced exit *)
+  RC.on_enter c ~fiber:1;
+  RC.on_fiber_exit c ~fiber:1;
+  (* finished inside a guard *)
+  Alcotest.(check (list bool)) "both guard leaks reported" [ true; true ]
+    (List.map (fun k -> k = RC.Guard_leak) (kinds c))
+
+let test_shadow_max_reports_bounds () =
+  let c = RC.create ~max_reports:2 () in
+  let n = RC.on_alloc c ~fiber:0 in
+  RC.on_publish c ~fiber:0 ~node:n;
+  for _ = 1 to 5 do
+    RC.on_access c ~fiber:1 ~node:n
+  done;
+  Alcotest.(check int) "report list is bounded" 2
+    (List.length (RC.reports c));
+  Alcotest.(check int) "overflow is counted" 3 (RC.dropped c)
+
 let () =
   Alcotest.run "analysis"
     [
@@ -262,6 +404,26 @@ let () =
         [
           Alcotest.test_case "max_hazards bounds the list" `Quick
             test_max_hazards_bounds_report;
+        ] );
+      ( "reclamation shadow heap",
+        [
+          Alcotest.test_case "clean lifecycle is silent" `Quick
+            test_shadow_clean_lifecycle_silent;
+          Alcotest.test_case "use-after-retire" `Quick
+            test_shadow_use_after_retire;
+          Alcotest.test_case "early guard protects" `Quick
+            test_shadow_early_guard_protects;
+          Alcotest.test_case "use-after-reclaim" `Quick
+            test_shadow_use_after_reclaim;
+          Alcotest.test_case "unguarded access" `Quick
+            test_shadow_unguarded_access;
+          Alcotest.test_case "retire while reachable" `Quick
+            test_shadow_retire_while_reachable;
+          Alcotest.test_case "double retire" `Quick test_shadow_double_retire;
+          Alcotest.test_case "epoch stall" `Quick test_shadow_epoch_stall;
+          Alcotest.test_case "guard leak" `Quick test_shadow_guard_leak;
+          Alcotest.test_case "max_reports bounds" `Quick
+            test_shadow_max_reports_bounds;
         ] );
       ("paper set", sweep_cases);
     ]

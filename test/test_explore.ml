@@ -11,6 +11,8 @@ let result_kind = function
   | Explore.Failed { kind = Explore.Fiber_raised _; _ } -> "raised"
   | Explore.Failed { kind = Explore.Livelock; _ } -> "livelock"
   | Explore.Failed { kind = Explore.Race_detected _; _ } -> "race"
+  | Explore.Failed { kind = Explore.Reclamation_violation _; _ } ->
+      "reclamation"
 
 (* -------------------------------------------------------------------- *)
 (* A racy read-modify-write: increment as get-then-set. Two fibers, two

@@ -93,6 +93,100 @@ let test_obj_allowed_in_padding () =
     (List.length (check ~scope src))
 
 (* -------------------------------------------------------------------- *)
+(* ebr-guard / retire-once (the static prong of the reclamation layer) *)
+
+(* A minimal EBR module shape: the rules only arm when the source
+   references [Ebr] and declares a [*node*] record. *)
+let ebr_prelude =
+  "module E = Ebr.Make (P)\n\
+   type 'a node = { value : 'a; next : 'a node option A.t }\n\
+   type 'a t = { top : 'a node option A.t; ebr : E.t }\n"
+
+let test_ebr_guard_fires () =
+  let src =
+    ebr_prelude
+    ^ "let peek t = match A.get t.top with\n\
+      \  | None -> None\n\
+      \  | Some n -> Some n.value\n"
+  in
+  match check src with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "ebr-guard" d.L.rule;
+      Alcotest.(check int) "line of the naked deref" 6 d.L.line
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let test_ebr_guard_extent_clean () =
+  let src =
+    ebr_prelude
+    ^ "let peek t ~tid = E.guard t.ebr ~tid (fun () ->\n\
+      \  match A.get t.top with None -> None | Some n -> Some n.value)\n"
+  in
+  Alcotest.(check int) "deref inside the guard extent is clean" 0
+    (List.length (check src))
+
+let test_unguarded_ok_covers_subtree () =
+  (* One annotation on a helper body covers every deref inside it. *)
+  let src =
+    ebr_prelude
+    ^ "let rec youngest n =\n\
+      \  (match n with\n\
+      \  | None -> None\n\
+      \  | Some n -> youngest (A.get n.next))\n\
+      \  [@unguarded_ok \"callers hold the guard\"]\n"
+  in
+  Alcotest.(check int) "annotated helper is clean" 0 (List.length (check src))
+
+let test_empty_unguarded_ok_rejected () =
+  let src =
+    ebr_prelude ^ "let value_of n = n.value [@unguarded_ok \"\"]\n"
+  in
+  Alcotest.(check (list string)) "empty reason still fires" [ "ebr-guard" ]
+    (rules (check src))
+
+let test_ebr_rules_need_ebr_reference () =
+  (* Same deref shapes, but the module never references Ebr: the node
+     lives forever under the GC and the rules must stay silent. *)
+  let src =
+    "type 'a node = { value : 'a; next : 'a node option A.t }\n\
+     type 'a t = { top : 'a node option A.t }\n\
+     let peek t = match A.get t.top with\n\
+    \  | None -> None\n\
+    \  | Some n -> Some n.value\n"
+  in
+  Alcotest.(check int) "no Ebr reference: rules disarmed" 0
+    (List.length (check src))
+
+let test_retire_once_fires () =
+  let src =
+    ebr_prelude
+    ^ "let drop t ~tid n = E.guard t.ebr ~tid (fun () ->\n\
+      \  ignore (A.compare_and_set t.top (Some n) None);\n\
+      \  E.retire t.ebr ~tid (fun () -> ()))\n"
+  in
+  Alcotest.(check (list string)) "ungated retire fires" [ "retire-once" ]
+    (rules (check src))
+
+let test_retire_gated_by_cas_clean () =
+  let src =
+    ebr_prelude
+    ^ "let drop t ~tid n = E.guard t.ebr ~tid (fun () ->\n\
+      \  if A.compare_and_set t.top (Some n) None then\n\
+      \    E.retire t.ebr ~tid (fun () -> ()))\n"
+  in
+  Alcotest.(check int) "CAS-gated retire is clean" 0
+    (List.length (check src))
+
+let test_retire_ok_accepted () =
+  let src =
+    ebr_prelude
+    ^ "let drop t ~tid = E.guard t.ebr ~tid (fun () ->\n\
+      \  (E.retire t.ebr ~tid (fun () -> ())\n\
+      \   [@retire_ok \"owner-only unlink\"]))\n"
+  in
+  Alcotest.(check int) "annotated retire is clean" 0
+    (List.length (check src))
+
+(* -------------------------------------------------------------------- *)
 (* Scoping and the driver-facing surface *)
 
 let test_scope_of_path () =
@@ -167,6 +261,27 @@ let () =
           Alcotest.test_case "fires" `Quick test_obj_use_fires;
           Alcotest.test_case "padding.ml exempt" `Quick
             test_obj_allowed_in_padding;
+        ] );
+      ( "ebr-guard",
+        [
+          Alcotest.test_case "naked deref fires" `Quick test_ebr_guard_fires;
+          Alcotest.test_case "guard extent clean" `Quick
+            test_ebr_guard_extent_clean;
+          Alcotest.test_case "unguarded_ok covers subtree" `Quick
+            test_unguarded_ok_covers_subtree;
+          Alcotest.test_case "empty reason rejected" `Quick
+            test_empty_unguarded_ok_rejected;
+          Alcotest.test_case "needs an Ebr reference" `Quick
+            test_ebr_rules_need_ebr_reference;
+        ] );
+      ( "retire-once",
+        [
+          Alcotest.test_case "ungated retire fires" `Quick
+            test_retire_once_fires;
+          Alcotest.test_case "CAS-gated retire clean" `Quick
+            test_retire_gated_by_cas_clean;
+          Alcotest.test_case "retire_ok accepted" `Quick
+            test_retire_ok_accepted;
         ] );
       ( "scope",
         [
