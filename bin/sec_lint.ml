@@ -4,7 +4,9 @@
    *.ml only), print every diagnostic as file:line:col, exit non-zero if
    any were found. Wired into the build as [dune build @lint], which
    [dune runtest] depends on — so a discipline violation fails the
-   tier-1 check.
+   tier-1 check. With [--json], diagnostics are emitted as a JSON array
+   of {file, line, col, rule, message} objects on stdout (exit status
+   unchanged), for editor and CI integrations.
 
    Self-test mode: [sec_lint --selftest <dir>] checks the fixture files
    under <dir> (discipline scope forced on) against their inline
@@ -28,15 +30,49 @@ let rec gather path acc =
   else if Filename.check_suffix path ".ml" then path :: acc
   else acc
 
-let lint files =
-  let diagnostics = List.concat_map Sec_lint_rules.Lint_rules.check_file files in
-  List.iter
-    (fun d ->
-      print_endline (Sec_lint_rules.Lint_rules.diagnostic_to_string d))
+(* Minimal JSON string escaping: the characters RFC 8259 requires. *)
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let print_json diagnostics =
+  print_string "[";
+  List.iteri
+    (fun i (d : Sec_lint_rules.Lint_rules.diagnostic) ->
+      if i > 0 then print_string ",";
+      Printf.printf
+        "\n  {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
+         \"message\": \"%s\"}"
+        (json_escape d.file) d.line d.col (json_escape d.rule)
+        (json_escape d.message))
     diagnostics;
+  if diagnostics <> [] then print_string "\n";
+  print_string "]\n"
+
+let lint ~json files =
+  let diagnostics = List.concat_map Sec_lint_rules.Lint_rules.check_file files in
+  if json then print_json diagnostics
+  else
+    List.iter
+      (fun d ->
+        print_endline (Sec_lint_rules.Lint_rules.diagnostic_to_string d))
+      diagnostics;
   match diagnostics with
   | [] ->
-      Printf.printf "sec_lint: %d files clean\n" (List.length files);
+      if not json then
+        Printf.printf "sec_lint: %d files clean\n" (List.length files);
       exit 0
   | ds ->
       Printf.eprintf "sec_lint: %d diagnostic(s)\n" (List.length ds);
@@ -130,10 +166,14 @@ let selftest dir =
   end
 
 let () =
-  match List.tl (Array.to_list Sys.argv) with
+  let args = List.tl (Array.to_list Sys.argv) in
+  let json = List.mem "--json" args in
+  let args = List.filter (fun a -> a <> "--json") args in
+  match args with
   | [] | [ "--selftest" ] ->
       prerr_endline
-        "usage: sec_lint <file-or-directory>... | sec_lint --selftest <dir>";
+        "usage: sec_lint [--json] <file-or-directory>... | sec_lint \
+         --selftest <dir>";
       exit 2
   | [ "--selftest"; dir ] -> selftest dir
-  | args -> lint (List.concat_map (fun p -> List.rev (gather p [])) args)
+  | args -> lint ~json (List.concat_map (fun p -> List.rev (gather p [])) args)

@@ -31,11 +31,36 @@
       {!Sec_analysis.Reclaim_checker} catches the interleavings, this
       rule catches the call sites.
 
+   6. [retry-discipline] — a retry loop on shared atomic state (a [while]
+      whose condition reads an atomic, or a recursive function whose body
+      both performs a CAS/exchange and calls itself) must pace itself: it
+      must contain a [Backoff]/[relax]/[yield] call, or carry
+      [@await_ok "why the wait is bounded"]. An unpaced loop hammers the
+      contended line (the paper's central performance concern) and is the
+      syntactic shape of every starvation/livelock hazard the dynamic
+      {!Sec_analysis.Progress_monitor} flags.
+
+   7. [progress-class] — a module that implements the stack interface
+      (binds both [push] and [pop]) must declare its progress class with
+      a floating attribute: [[@@@progress "lock_free"]] or
+      [[@@@progress "blocking"]]. The declaration is checked dynamically
+      by the suspension classifier ({!Sec_sim.Explore.classify}, via the
+      harness registry); statically, a module declared lock_free must not
+      wait unboundedly on another thread's write ([spin_until] /
+      [spin_while] outside an [@await_ok] extent) — such a wait requires
+      the blocking declaration.
+
    The checker is syntactic by design: it recognises the repo idiom
    ([module A = P.Atomic], [A.make] / [Atomic.make], [module Ebr =
    Ebr.Make (P)], [Ebr.guard] / [Ebr.retire]) rather than doing
    type-driven analysis, which keeps it dependency-free and fast enough
-   to run on every build. *)
+   to run on every build.
+
+   The three intent annotations — [@unguarded_ok], [@retire_ok],
+   [@await_ok] — share one subtree-covering discipline
+   ({!covering_annotations}): each needs a non-empty reason string, and
+   each marks its whole subtree, so one annotation on a helper's body
+   covers every occurrence inside it. *)
 
 type diagnostic = {
   file : string;
@@ -128,6 +153,35 @@ let is_guard_call lid = last_component lid = "guard"
 let is_retire_call lid = last_component lid = "retire"
 let is_cas_ident lid = last_component lid = "compare_and_set"
 
+(* [A.get] / [Atomic.get]: reading an atomic cell (rule 6's while-loop
+   condition shape). *)
+let is_atomic_get lid =
+  match List.rev (flatten_longident lid) with
+  | "get" :: owner :: _ -> owner = "A" || owner = "Atomic"
+  | _ -> false
+
+(* The RMWs whose failure is what a retry loop retries on. *)
+let is_retry_rmw_ident lid =
+  match last_component lid with
+  | "compare_and_set" | "exchange" -> true
+  | _ -> false
+
+(* Pacing calls that discharge rule 6: the substrate's waiting vocabulary
+   ([relax]/[cpu_relax]/[yield]) and the Backoff module's entry points
+   ([once] and the spin helpers, which escalate to yield internally). *)
+let is_pacing_ident lid =
+  match last_component lid with
+  | "relax" | "cpu_relax" | "yield" | "once" | "spin_until" | "spin_while" ->
+      true
+  | _ -> false
+
+(* Unbounded waits on another thread's write (rule 7): under a lock_free
+   declaration these need an [@await_ok] bound or a blocking declaration. *)
+let is_spin_wait_ident lid =
+  match last_component lid with
+  | "spin_until" | "spin_while" -> true
+  | _ -> false
+
 let contains_sub s sub =
   let ls = String.length s and lb = String.length sub in
   let rec scan i =
@@ -185,7 +239,8 @@ let collect_node_fields structure =
   it.structure it structure;
   fields
 
-let expr_contains_cas e =
+(* Does [e]'s subtree contain an identifier satisfying [pred]? *)
+let expr_contains_ident pred e =
   let found = ref false in
   let it =
     {
@@ -193,13 +248,22 @@ let expr_contains_cas e =
       expr =
         (fun it e ->
           (match e.pexp_desc with
-          | Pexp_ident { txt; _ } when is_cas_ident txt -> found := true
+          | Pexp_ident { txt; _ } when pred txt -> found := true
           | _ -> ());
           Ast_iterator.default_iterator.expr it e);
     }
   in
   it.expr it e;
   !found
+
+let expr_contains_cas e = expr_contains_ident is_cas_ident e
+
+(* A bare reference to [name] anywhere in [e] — the self-call of a
+   recursive retry loop. *)
+let expr_references_self name e =
+  expr_contains_ident
+    (fun lid -> match flatten_longident lid with [ n ] -> n = name | _ -> false)
+    e
 
 (* ------------------------------------------------------------------ *)
 (* The checker                                                          *)
@@ -211,7 +275,53 @@ type ctx = {
   in_guard : bool; (* inside a [guard ...] call's arguments (rule 4) *)
   in_cas_branch : bool;
       (* inside a branch selected by a compare_and_set (rule 5) *)
+  retire_covered : bool; (* inside an [@retire_ok "..."] subtree (rule 5) *)
+  await_covered : bool;
+      (* inside an [@await_ok "..."] subtree (rules 6 and 7) *)
 }
+
+(* The shared subtree-covering annotation discipline: an annotation with
+   a non-empty reason string marks the whole subtree it sits on, so one
+   annotation on a helper's body covers every occurrence inside it.
+   [@unguarded_ok] discharges rule 4, [@retire_ok] rule 5, [@await_ok]
+   rules 6 and 7. *)
+let attr_has_reason name attrs =
+  match find_attr name attrs with
+  | Some attr -> (
+      match string_payload attr with
+      | Some s -> String.trim s <> ""
+      | None -> false)
+  | None -> false
+
+let covering_annotations =
+  [
+    ("unguarded_ok", fun ctx -> { ctx with in_guard = true });
+    ("retire_ok", fun ctx -> { ctx with retire_covered = true });
+    ("await_ok", fun ctx -> { ctx with await_covered = true });
+  ]
+
+let enter_covering (e : expression) ctx =
+  List.fold_left
+    (fun ctx (name, mark) ->
+      if attr_has_reason name e.pexp_attributes then mark ctx else ctx)
+    ctx covering_annotations
+
+(* Does any sub-expression of [e] (including [e] itself) carry a
+   justified [@await_ok]? Used where rule 6 anchors on the whole binding
+   but the annotation may sit on an inner expression. *)
+let subtree_has_await_ok e =
+  let found = ref false in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr =
+        (fun it e ->
+          if attr_has_reason "await_ok" e.pexp_attributes then found := true;
+          Ast_iterator.default_iterator.expr it e);
+    }
+  in
+  it.expr it e;
+  !found
 
 let check_structure ~file ~scope structure =
   let diags = ref [] in
@@ -223,6 +333,41 @@ let check_structure ~file ~scope structure =
   let ebr_rules = scope.check_discipline && structure_uses_ebr structure in
   let node_fields =
     if ebr_rules then collect_node_fields structure else Hashtbl.create 0
+  in
+
+  (* Rule 7 pre-pass: [@@@progress] declarations and push/pop bindings
+     anywhere in the structure (including submodules — a file is one
+     progress unit, matching how the registry declares one class per
+     algorithm). The missing-declaration diagnostic anchors at the later
+     of the two bindings. *)
+  let progress_decls = ref [] (* (payload, loc), reversed *) in
+  let push_loc = ref None and pop_loc = ref None in
+  (if scope.check_discipline then
+     let note_binding (vb : value_binding) =
+       match vb.pvb_pat.ppat_desc with
+       | Ppat_var { txt = "push"; _ } -> push_loc := Some vb.pvb_loc
+       | Ppat_var { txt = "pop"; _ } -> pop_loc := Some vb.pvb_loc
+       | _ -> ()
+     in
+     let it =
+       {
+         Ast_iterator.default_iterator with
+         structure_item =
+           (fun it si ->
+             (match si.pstr_desc with
+             | Pstr_attribute attr
+               when attr.attr_name.Location.txt = "progress" ->
+                 progress_decls :=
+                   (string_payload attr, attr.attr_loc) :: !progress_decls
+             | Pstr_value (_, vbs) -> List.iter note_binding vbs
+             | _ -> ());
+             Ast_iterator.default_iterator.structure_item it si);
+       }
+     in
+     it.structure it structure);
+  let progress_decls = List.rev !progress_decls in
+  let declared_lock_free =
+    List.exists (fun (p, _) -> p = Some "lock_free") progress_decls
   in
 
   (* Rule 1: mutable record fields need [@plain_ok "..."]. *)
@@ -290,20 +435,76 @@ let check_structure ~file ~scope structure =
        node is unlinked exactly once\"]"
   in
 
+  (* Rule 6: unpaced retry loops on shared atomics. *)
+  let retry_message shape =
+    Printf.sprintf
+      "%s retries on a shared atomic without pacing: add a Backoff \
+       call (once/spin_until/spin_while), a substrate relax/yield, or — \
+       if the wait is bounded by protocol — annotate it [@await_ok \
+       \"why the wait is bounded\"]"
+      shape
+  in
+  let check_retry_vb ctx (vb : value_binding) =
+    match vb.pvb_pat.ppat_desc with
+    | Ppat_var { txt = fname; _ } ->
+        let body = vb.pvb_expr in
+        if
+          expr_contains_ident is_retry_rmw_ident body
+          && expr_references_self fname body
+          && (not (expr_contains_ident is_pacing_ident body))
+          && (not ctx.await_covered)
+          && (not (attr_has_reason "await_ok" vb.pvb_attributes))
+          && not (subtree_has_await_ok body)
+        then
+          add vb.pvb_loc "retry-discipline"
+            (retry_message
+               (Printf.sprintf "recursive CAS/exchange loop '%s'" fname))
+    | _ -> ()
+  in
+
+  (* Rule 7: the progress-class declaration obligations. *)
+  (if scope.check_discipline then begin
+     List.iter
+       (fun (payload, loc) ->
+         match payload with
+         | Some "lock_free" | Some "blocking" -> ()
+         | Some other ->
+             add loc "progress-class"
+               (Printf.sprintf
+                  "invalid progress class %S: declare [@@@progress \
+                   \"lock_free\"] or [@@@progress \"blocking\"]"
+                  other)
+         | None ->
+             add loc "progress-class"
+               "[@@@progress] needs a class string: declare [@@@progress \
+                \"lock_free\"] or [@@@progress \"blocking\"]")
+       progress_decls;
+     match (!push_loc, !pop_loc) with
+     | Some ploc, Some qloc when progress_decls = [] ->
+         let anchor =
+           if fst (pos_of qloc) >= fst (pos_of ploc) then qloc else ploc
+         in
+         add anchor "progress-class"
+           "module implements the stack interface (binds both push and \
+            pop) but declares no progress class: add [@@@progress \
+            \"lock_free\"] or [@@@progress \"blocking\"]; the declared \
+            class is checked mechanically by the suspension classifier \
+            (docs/ANALYSIS.md, \"Progress prong\")"
+     | _ -> ()
+   end);
+  let check_lock_free_spin loc =
+    add loc "progress-class"
+      "module declared [@@@progress \"lock_free\"] but waits unboundedly \
+       on another thread's write (spin_until/spin_while): bound the wait \
+       and annotate it [@await_ok \"why the wait is bounded\"], or \
+       declare [@@@progress \"blocking\"]"
+  in
+
   let rec expr ctx (e : expression) =
-    let has_reason name =
-      match find_attr name e.pexp_attributes with
-      | Some attr -> (
-          match string_payload attr with
-          | Some s -> String.trim s <> ""
-          | None -> false)
-      | None -> false
-    in
-    (* [@unguarded_ok "..."] marks its whole subtree as guarded, so one
-       annotation can cover a helper body. *)
-    let ctx =
-      if has_reason "unguarded_ok" then { ctx with in_guard = true } else ctx
-    in
+    let has_reason name = attr_has_reason name e.pexp_attributes in
+    (* The shared covering discipline: a justified [@unguarded_ok] /
+       [@retire_ok] / [@await_ok] marks this whole subtree. *)
+    let ctx = enter_covering e ctx in
     match e.pexp_desc with
     | Pexp_ident { txt; loc } -> check_obj txt loc
     | Pexp_field (inner, { txt = field; loc = floc }) ->
@@ -322,8 +523,13 @@ let check_structure ~file ~scope structure =
         (if
            ebr_rules && is_retire_call txt
            && (not ctx.in_cas_branch)
-           && not (has_reason "retire_ok")
+           && not ctx.retire_covered
          then check_retire e.pexp_loc);
+        (if
+           scope.check_discipline && declared_lock_free
+           && is_spin_wait_ident txt
+           && not ctx.await_covered
+         then check_lock_free_spin e.pexp_loc);
         let arg_ctx =
           {
             ctx with
@@ -361,6 +567,25 @@ let check_structure ~file ~scope structure =
           fields
     | Pexp_array items ->
         List.iter (expr { ctx with in_shared_block = true }) items
+    | Pexp_while (cond, body) ->
+        (if
+           scope.check_discipline
+           && expr_contains_ident is_atomic_get cond
+           && (not ctx.await_covered)
+           && (not
+                 (expr_contains_ident is_pacing_ident cond
+                 || expr_contains_ident is_pacing_ident body))
+           && not (subtree_has_await_ok body)
+         then
+           add e.pexp_loc "retry-discipline"
+             (retry_message "while loop on an atomic read"));
+        expr ctx cond;
+        expr ctx body
+    | Pexp_let (rflag, vbs, cont) ->
+        (if scope.check_discipline && rflag = Asttypes.Recursive then
+           List.iter (check_retry_vb ctx) vbs);
+        List.iter (fun vb -> expr ctx vb.pvb_expr) vbs;
+        expr ctx cont
     | _ ->
         (* Generic descent that preserves the context:
            [default_iterator.expr it e] iterates [e]'s children through
@@ -381,13 +606,29 @@ let check_structure ~file ~scope structure =
   in
 
   let top_ctx =
-    { in_shared_block = false; in_guard = false; in_cas_branch = false }
+    {
+      in_shared_block = false;
+      in_guard = false;
+      in_cas_branch = false;
+      retire_covered = false;
+      await_covered = false;
+    }
   in
   let iterator =
     {
       Ast_iterator.default_iterator with
       expr = (fun _ e -> expr top_ctx e);
       type_declaration = (fun _ td -> type_declaration td);
+      structure_item =
+        (fun it si ->
+          (* Structure-level [let rec] retry loops (rule 6); expression-
+             level ones are handled by the walk's [Pexp_let] case. *)
+          (match si.pstr_desc with
+          | Pstr_value (Asttypes.Recursive, vbs) when scope.check_discipline
+            ->
+              List.iter (check_retry_vb top_ctx) vbs
+          | _ -> ());
+          Ast_iterator.default_iterator.structure_item it si);
     }
   in
   iterator.structure iterator structure;

@@ -1,6 +1,6 @@
 (** Static lint for the repo's shared-memory discipline.
 
-    Five rule classes, reported as [file:line:col] diagnostics:
+    Seven rule classes, reported as [file:line:col] diagnostics:
     - [mutable-field]: no [mutable] record field in algorithm modules
       without [@plain_ok "publication argument"];
     - [unpadded-atomic]: atomics stored in long-lived shared blocks
@@ -8,16 +8,32 @@
     - [obj-confinement]: [Obj.*] only in [lib/prim/padding.ml];
     - [ebr-guard]: in discipline modules referencing [Ebr], reads of
       node-record fields (record types named [*node*]) must sit inside a
-      syntactic [guard ...] call or under [@unguarded_ok "reason"] (the
-      annotation covers its whole subtree, so it can sit on a helper
-      body);
+      syntactic [guard ...] call or under [@unguarded_ok "reason"];
     - [retire-once]: in the same modules, [retire] calls must be inside
       a branch selected by a [compare_and_set] (the unlink CAS) or carry
-      [@retire_ok "reason"].
+      [@retire_ok "reason"];
+    - [retry-discipline]: a retry loop on shared atomic state (a [while]
+      on an atomic read, or a recursive CAS/exchange loop) must pace
+      itself with a [Backoff]/[relax]/[yield] call or carry
+      [@await_ok "why the wait is bounded"];
+    - [progress-class]: a module binding both [push] and [pop] must
+      declare [[@@@progress "lock_free"]] or [[@@@progress "blocking"]],
+      and a lock_free module must not wait unboundedly on another
+      thread's write ([spin_until]/[spin_while] outside an [@await_ok]
+      extent).
+
+    The three intent annotations ([@unguarded_ok], [@retire_ok],
+    [@await_ok]) share one subtree-covering discipline: each needs a
+    non-empty reason string, and each covers the whole subtree it sits
+    on, so one annotation on a helper body covers every occurrence
+    inside it.
 
     The two EBR rules are the static prong of the reclamation-safety
-    layer; {!Sec_analysis.Reclaim_checker} is the dynamic prong
-    (docs/ANALYSIS.md, "Reclamation prong").
+    layer ({!Sec_analysis.Reclaim_checker} is the dynamic prong); the
+    two progress rules are the static prong of the progress layer
+    ({!Sec_analysis.Progress_monitor} and the suspension classifier
+    {!Sec_sim.Explore.classify} are the dynamic prong). See
+    docs/ANALYSIS.md.
 
     Run as [dune build @lint] via [bin/sec_lint]. *)
 
@@ -31,9 +47,9 @@ type diagnostic = {
 
 type scope = {
   check_discipline : bool;
-      (** apply the mutable-field, unpadded-atomic, ebr-guard and
-          retire-once rules (the latter two also require the module to
-          reference [Ebr]) *)
+      (** apply the mutable-field, unpadded-atomic, ebr-guard,
+          retire-once, retry-discipline and progress-class rules (the
+          EBR pair also requires the module to reference [Ebr]) *)
   allow_obj : bool;  (** exempt from obj-confinement *)
 }
 

@@ -16,6 +16,10 @@
    a [pop] may return [None] if every backing stack it examined was empty
    at the moment its combiner examined it. *)
 
+(* Inherits the SEC combining protocol's class: announcers wait on their
+   batch's combiner, so a suspended combiner stalls its shard. *)
+[@@@progress "blocking"]
+
 module Make (P : Sec_prim.Prim_intf.S) = struct
   module A = P.Atomic
   module Backoff = Sec_prim.Backoff.Make (P)

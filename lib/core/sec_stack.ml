@@ -26,6 +26,13 @@
    at the exchange; non-eliminated operations linearize at their
    combiner's successful CAS, ordered by sequence number. *)
 
+(* The combining protocol is blocking: an announcer whose batch's freezer
+   (or combiner) is suspended spins on [batch_applied] forever. The
+   sharded elimination fast path is nonetheless lock-free — a suspension
+   on one aggregator cannot stall threads mapped to another shard — and
+   test/test_progress.ml checks both facts mechanically. *)
+[@@@progress "blocking"]
+
 module Make (P : Sec_prim.Prim_intf.S) = struct
   module A = P.Atomic
   module Backoff = Sec_prim.Backoff.Make (P)
@@ -214,10 +221,13 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
        failed CAS just surrenders the loser's place behind a stream of
        fresh combiners. *)
     let rec attempt () =
-      let current_top = A.get t.top in
-      bottom.next <- current_top;
-      if not (A.compare_and_set t.top current_top (Some !top_of_substack))
-      then attempt ()
+      (let current_top = A.get t.top in
+       bottom.next <- current_top;
+       if not (A.compare_and_set t.top current_top (Some !top_of_substack))
+       then attempt ())
+      [@await_ok
+        "a failed CAS means another combiner landed its whole batch; at \
+         most K combiners compete, so retrying bare is the right call"]
     in
     attempt ()
 
@@ -236,9 +246,12 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
         else match node with None -> None | Some n -> walk n.next (k - 1)
       in
       let new_top = walk current_top to_remove in
-      if A.compare_and_set t.top current_top new_top then
-        A.set batch.substack current_top
-      else attempt ()
+      (if A.compare_and_set t.top current_top new_top then
+         A.set batch.substack current_top
+       else attempt ())
+      [@await_ok
+        "a failed CAS means another combiner landed its whole batch; at \
+         most K combiners compete, so retrying bare is the right call"]
     in
     attempt ()
 

@@ -324,7 +324,11 @@ let pool_entry ~aggregators ~label =
         let peek _ ~tid:_ = None
       end
   in
-  { Registry.name = label; maker = (module M : Registry.MAKER) }
+  {
+    Registry.name = label;
+    maker = (module M : Registry.MAKER);
+    progress = Registry.Blocking (* SEC combining protocol, same as sec *);
+  }
 
 let extension_pool =
   {

@@ -1,10 +1,24 @@
 (* Named constructors for every tested algorithm, as substrate-polymorphic
    MAKER functors, so the same entry drives the native runner and the
-   simulator. *)
+   simulator. Each entry also declares its progress class, which
+   [test/test_progress.ml] checks against the suspension classifier's
+   mechanical verdict ({!Sec_sim.Explore.classify}). *)
 
 module type MAKER = Sec_spec.Stack_intf.MAKER
 
-type entry = { name : string; maker : (module MAKER) }
+type progress_class = Sec_sim.Explore.progress_class = Blocking | Lock_free
+
+type entry = {
+  name : string;
+  maker : (module MAKER);
+  progress : progress_class;
+      (* the class the algorithm's protocol actually provides, matching
+         the module's [@@@progress] lint declaration; for SEC this is the
+         class of the *combining protocol* (announcers in one batch wait
+         on their freezer/combiner), even though operations that land
+         alone on a shard — the sharded/elimination fast path — survive
+         any single suspension (see test_progress.ml) *)
+}
 
 (* SEC under a fixed configuration, with a display label. *)
 module Sec_configured (C : sig
@@ -35,22 +49,76 @@ let sec_with ?(freeze_backoff = Sec_core.Config.default.freeze_backoff)
         freeze_backoff;
       }
   end in
-  { name = label; maker = (module Sec_configured (C) : MAKER) }
+  {
+    name = label;
+    maker = (module Sec_configured (C) : MAKER);
+    progress = Blocking;
+  }
 
 let sec = sec_with ~aggregators:2 ~label:"SEC" ()
-let treiber = { name = "TRB"; maker = (module Sec_stacks.Treiber.Make : MAKER) }
-let eb = { name = "EB"; maker = (module Sec_stacks.Eb_stack.Make : MAKER) }
-let fc = { name = "FC"; maker = (module Sec_stacks.Fc_stack.Make : MAKER) }
-let cc = { name = "CC"; maker = (module Sec_stacks.Cc_stack.Make : MAKER) }
-let tsi = { name = "TSI"; maker = (module Sec_stacks.Ts_stack.Make : MAKER) }
-let lock = { name = "LCK"; maker = (module Sec_stacks.Lock_stack.Make : MAKER) }
-let hsynch = { name = "HS"; maker = (module Sec_stacks.H_stack.Make : MAKER) }
+
+let treiber =
+  {
+    name = "TRB";
+    maker = (module Sec_stacks.Treiber.Make : MAKER);
+    progress = Lock_free;
+  }
+
+let eb =
+  {
+    name = "EB";
+    maker = (module Sec_stacks.Eb_stack.Make : MAKER);
+    progress = Lock_free;
+  }
+
+let fc =
+  {
+    name = "FC";
+    maker = (module Sec_stacks.Fc_stack.Make : MAKER);
+    progress = Blocking;
+  }
+
+let cc =
+  {
+    name = "CC";
+    maker = (module Sec_stacks.Cc_stack.Make : MAKER);
+    progress = Blocking;
+  }
+
+let tsi =
+  {
+    name = "TSI";
+    maker = (module Sec_stacks.Ts_stack.Make : MAKER);
+    progress = Lock_free;
+  }
+
+let lock =
+  {
+    name = "LCK";
+    maker = (module Sec_stacks.Lock_stack.Make : MAKER);
+    progress = Blocking;
+  }
+
+let hsynch =
+  {
+    name = "HS";
+    maker = (module Sec_stacks.H_stack.Make : MAKER);
+    progress = Blocking;
+  }
 
 let treiber_ebr =
-  { name = "TRB-EBR"; maker = (module Sec_reclaim.Treiber_ebr.Make : MAKER) }
+  {
+    name = "TRB-EBR";
+    maker = (module Sec_reclaim.Treiber_ebr.Make : MAKER);
+    progress = Lock_free;
+  }
 
 let tsi_ebr =
-  { name = "TSI-EBR"; maker = (module Sec_reclaim.Ts_stack_ebr.Make : MAKER) }
+  {
+    name = "TSI-EBR";
+    maker = (module Sec_reclaim.Ts_stack_ebr.Make : MAKER);
+    progress = Lock_free;
+  }
 
 (* The six algorithms of the paper's comparison (Figure 2). *)
 let paper_set = [ sec; treiber; eb; fc; cc; tsi ]

@@ -4,7 +4,20 @@
 
 module type MAKER = Sec_spec.Stack_intf.MAKER
 
-type entry = { name : string; maker : (module MAKER) }
+type progress_class = Sec_sim.Explore.progress_class = Blocking | Lock_free
+
+type entry = {
+  name : string;
+  maker : (module MAKER);
+  progress : progress_class;
+      (** the declared progress class of the algorithm's protocol,
+          checked against the suspension classifier's verdict
+          ({!Sec_sim.Explore.classify}) by [test/test_progress.ml]. For
+          SEC this is the class of the combining protocol (same-batch
+          announcers wait on their freezer); the sharded/elimination
+          fast path — operations alone on a shard — is itself
+          lock-free. *)
+}
 
 (** SEC under an explicit configuration, displayed as [label]. *)
 val sec_with :

@@ -11,6 +11,10 @@
    [Explore.for_all ~check_reclamation:true] can verify the guard and
    retire discipline — see docs/ANALYSIS.md ("Reclamation prong"). *)
 
+(* Treiber under EBR: a failed CAS means a peer succeeded, and epoch
+   entry/exit never waits on another thread. *)
+[@@@progress "lock_free"]
+
 module Make (P : Sec_prim.Prim_intf.S) = struct
   module A = P.Atomic
   module Backoff = Sec_prim.Backoff.Make (P)

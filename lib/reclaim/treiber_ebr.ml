@@ -10,6 +10,9 @@
    node); the reclamation checker still tracks every node through the
    instrumented {!Reclaimed_stack}. *)
 
+(* Thin wrapper over the lock-free {!Reclaimed_stack}. *)
+[@@@progress "lock_free"]
+
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module R = Reclaimed_stack.Make (P)
 

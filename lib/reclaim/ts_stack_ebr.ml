@@ -20,6 +20,10 @@
    [@unguarded_ok "reason"] — the static ebr-guard lint's annotation for
    helpers whose callers hold the guard (docs/ANALYSIS.md). *)
 
+(* Same argument as the plain TS stack: losing the [taken] CAS means a
+   peer popped the node, and pool scans never wait on a specific thread. *)
+[@@@progress "lock_free"]
+
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module A = P.Atomic
   module Ebr = Ebr.Make (P)

@@ -106,6 +106,10 @@ type fiber_state =
   | Start of (unit -> unit)
   | Paused of (unit -> unit) (* resumes the captured continuation *)
   | Done
+  | Frozen
+      (* parked forever by the suspension adversary ({!classify}): the
+         continuation is dropped, modelling a thread descheduled
+         mid-operation and never coming back *)
 
 (* Last accesses per location, for [`Dpor] conflict harvesting. *)
 type loc_accesses = {
@@ -136,6 +140,10 @@ type run_ctx = {
   accesses : (int, loc_accesses) Hashtbl.t; (* loc -> last accesses *)
   branched : (int * int, unit) Hashtbl.t; (* dedup of (step, fiber) *)
   setup_rng : Sec_prim.Rng.t; (* for effects outside any fiber *)
+  (* Suspension adversary: freeze [fiber] just before its [n]th access. *)
+  suspend : (int * int) option;
+  mutable victim_seen : int; (* accesses the victim has reached *)
+  mutable suspended : bool; (* the freeze actually happened *)
 }
 
 let runnable_others ctx =
@@ -143,7 +151,7 @@ let runnable_others ctx =
   Array.iteri
     (fun i st ->
       match st with
-      | Done -> ()
+      | Done | Frozen -> ()
       | Start _ | Paused _ -> if i <> ctx.current then alts := i :: !alts)
     ctx.fibers;
   !alts
@@ -155,7 +163,7 @@ let next_runnable ctx =
     else
       let i = (ctx.current + k) mod n in
       match ctx.fibers.(i) with
-      | Done -> scan (k + 1)
+      | Done | Frozen -> scan (k + 1)
       | Start _ | Paused _ -> Some i
   in
   scan 1
@@ -211,7 +219,7 @@ let rec dispatch ctx fiber =
   ctx.current <- fiber;
   ctx.in_quantum <- ctx.quantum;
   match ctx.fibers.(fiber) with
-  | Done -> assert false
+  | Done | Frozen -> assert false
   | Paused resume -> resume ()
   | Start body -> run_fiber ctx fiber body
 
@@ -274,6 +282,25 @@ and run_fiber ctx fiber body =
 (* The heart: a scheduling point just before an atomic access. [resume]
    continues the suspended access. *)
 and at_access ctx ~loc ~kind (resume : unit -> unit) =
+  let freeze =
+    match ctx.suspend with
+    | Some (victim, after) when ctx.current = victim && not ctx.suspended ->
+        ctx.victim_seen <- ctx.victim_seen + 1;
+        ctx.victim_seen = after
+    | _ -> false
+  in
+  if freeze then begin
+    (* Suspension adversary: park the victim forever, just before the
+       access executes. The frozen access is never accounted as a step —
+       it never happens. *)
+    ctx.suspended <- true;
+    ctx.fibers.(ctx.current) <- Frozen;
+    match next_runnable ctx with None -> () | Some f -> dispatch ctx f
+  end
+  else at_live_access ctx ~loc ~kind resume
+
+and at_live_access ctx ~loc ~kind (resume : unit -> unit) =
+  Sim_effects.Progress.on_event ctx.current;
   ctx.step <- ctx.step + 1;
   if ctx.step > ctx.max_steps then begin
     ctx.livelocked <- true
@@ -309,7 +336,7 @@ and at_access ctx ~loc ~kind (resume : unit -> unit) =
     match forced with
     | Some f -> (
         match ctx.fibers.(f) with
-        | Done ->
+        | Done | Frozen ->
             (* Replay drift should not happen (runs are deterministic);
                degrade to continuing rather than crashing. *)
             resume ()
@@ -342,7 +369,33 @@ type one_outcome =
   | Livelocked
 
 (* Effects performed outside the fibers (scenario setup, final check) are
-   interpreted trivially and sequentially. *)
+   interpreted trivially and sequentially. Shared by {!run_one} and the
+   suspension driver {!run_frozen}. *)
+let setup_effc :
+    type a.
+    run_ctx -> a Effect.t -> ((a, unit) Effect.Deep.continuation -> unit) option
+    =
+ fun ctx eff ->
+  let open Effect.Deep in
+  match eff with
+  | Sim_effects.Access (_, _) -> Some (fun k -> continue k ())
+  | Sim_effects.Relax _ -> Some (fun k -> continue k ())
+  | Sim_effects.Yield -> Some (fun k -> continue k ())
+  | Sim_effects.New_loc ->
+      Some
+        (fun k ->
+          let id = ctx.next_loc in
+          ctx.next_loc <- id + 1;
+          continue k id)
+  | Sim_effects.Now -> Some (fun k -> continue k (Int64.of_int ctx.step))
+  | Sim_effects.Rand_int n ->
+      Some (fun k -> continue k (Sec_prim.Rng.int ctx.setup_rng n))
+  | Sim_effects.Rand_bits ->
+      Some (fun k -> continue k (Sec_prim.Rng.bits ctx.setup_rng))
+  | Sim_effects.Fiber_id -> Some (fun k -> continue k (-1))
+  | Sim_effects.Num_workers -> Some (fun k -> continue k 0)
+  | _ -> None
+
 let run_one ctx scenario =
   let open Effect.Deep in
   let outcome = ref (Ok_run true) in
@@ -381,34 +434,13 @@ let run_one ctx scenario =
        {
          retc = (fun () -> ());
          exnc = (fun e -> outcome := Raised (Printexc.to_string e));
-         effc =
-           (fun (type a) (eff : a Effect.t) ->
-             match eff with
-             | Sim_effects.Access (_, _) ->
-                 Some (fun (k : (a, _) continuation) -> continue k ())
-             | Sim_effects.Relax _ -> Some (fun k -> continue k ())
-             | Sim_effects.Yield -> Some (fun k -> continue k ())
-             | Sim_effects.New_loc ->
-                 Some
-                   (fun k ->
-                     let id = ctx.next_loc in
-                     ctx.next_loc <- id + 1;
-                     continue k id)
-             | Sim_effects.Now ->
-                 Some (fun k -> continue k (Int64.of_int ctx.step))
-             | Sim_effects.Rand_int n ->
-                 Some (fun k -> continue k (Sec_prim.Rng.int ctx.setup_rng n))
-             | Sim_effects.Rand_bits ->
-                 Some (fun k -> continue k (Sec_prim.Rng.bits ctx.setup_rng))
-             | Sim_effects.Fiber_id -> Some (fun k -> continue k (-1))
-             | Sim_effects.Num_workers -> Some (fun k -> continue k 0)
-             | _ -> None)
+         effc = (fun eff -> setup_effc ctx eff);
        }
    with e -> outcome := Raised (Printexc.to_string e));
   !outcome
 
-let make_ctx ~strategy ~quantum ~max_steps ~placements ~collecting
-    ~max_extensions =
+let make_ctx ?suspend ~strategy ~quantum ~max_steps ~placements ~collecting
+    ~max_extensions () =
   let collect_from =
     List.fold_left (fun acc (p : placement) -> max acc p.step) 0 placements
   in
@@ -433,6 +465,9 @@ let make_ctx ~strategy ~quantum ~max_steps ~placements ~collecting
     accesses = Hashtbl.create 64;
     branched = Hashtbl.create 64;
     setup_rng = Sec_prim.Rng.create 99L;
+    suspend;
+    victim_seen = 0;
+    suspended = false;
   }
 
 exception Stop of violation
@@ -449,7 +484,7 @@ let for_all ?(max_preemptions = 1) ?(quantum = 8) ?(max_schedules = 20_000)
       let collecting = List.length placements < max_preemptions in
       let ctx =
         make_ctx ~strategy ~quantum ~max_steps ~placements ~collecting
-          ~max_extensions:4_096
+          ~max_extensions:4_096 ()
       in
       let run_monitored () =
         if detect_races then begin
@@ -511,7 +546,7 @@ let replay ?(quantum = 8) ?(max_steps = 50_000) ?detector ?reclaim_checker
     ~schedule scenario =
   let ctx =
     make_ctx ~strategy:`Exhaustive ~quantum ~max_steps ~placements:schedule
-      ~collecting:false ~max_extensions:0
+      ~collecting:false ~max_extensions:0 ()
   in
   let go () = run_one ctx scenario in
   let go =
@@ -522,3 +557,125 @@ let replay ?(quantum = 8) ?(max_steps = 50_000) ?detector ?reclaim_checker
   match detector with
   | Some d -> Sec_analysis.Race_detector.with_detector d go
   | None -> go ()
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial suspension: the mechanical lock-freedom check             *)
+
+type progress_class = Blocking | Lock_free
+
+type suspension_outcome =
+  | Survived of { engaged : bool }
+      (* every non-victim fiber completed; [engaged] is false when the
+         victim finished before reaching the suspension point *)
+  | Blocked (* the step budget ran out: the peers spun forever *)
+  | Crashed of string
+
+(* One run under the suspension adversary. The scenario's final check is
+   deliberately not consulted: with a fiber parked mid-operation the
+   shared state is legitimately half-updated (e.g. a value pushed but not
+   yet popped), so the only question is whether the *other* fibers ran to
+   completion. Race/reclamation hooks are likewise not fed — a frozen
+   fiber holding a guard is the adversary's doing, not a bug. *)
+let run_frozen ctx scenario =
+  let open Effect.Deep in
+  let outcome = ref (Survived { engaged = false }) in
+  let body () =
+    let fibers, _check = scenario () in
+    if fibers = [] then raise (Unsupported "scenario with no fibers");
+    ctx.fibers <- Array.of_list (List.map (fun b -> Start b) fibers);
+    ctx.rngs <-
+      Array.init (Array.length ctx.fibers) (fun i ->
+          Sec_prim.Rng.create (Int64.of_int (1_000 + i)));
+    dispatch ctx 0;
+    if ctx.livelocked then outcome := Blocked
+    else
+      (* The driver unwound with nothing runnable: every fiber is [Done]
+         except the (at most one) [Frozen] victim. *)
+      outcome := Survived { engaged = ctx.suspended }
+  in
+  (try
+     match_with body ()
+       {
+         retc = (fun () -> ());
+         exnc = (fun e -> outcome := Crashed (Printexc.to_string e));
+         effc = (fun eff -> setup_effc ctx eff);
+       }
+   with e -> outcome := Crashed (Printexc.to_string e));
+  !outcome
+
+let suspended_run ?(quantum = 8) ?(max_steps = 20_000) ~victim ~after scenario
+    =
+  let ctx =
+    make_ctx ~suspend:(victim, after) ~strategy:`Exhaustive ~quantum
+      ~max_steps ~placements:[] ~collecting:false ~max_extensions:0 ()
+  in
+  run_frozen ctx scenario
+
+type classification = {
+  verdict : progress_class;
+  witness : (int * int) option;
+      (* (victim, access index) whose suspension blocked the peers *)
+  runs : int; (* suspension runs performed *)
+}
+
+(* Sweep every single-fiber suspension point: for each victim fiber,
+   freeze it just before its 1st, 2nd, ... access (under the fair
+   round-robin baseline, so the schedule up to the freeze is
+   deterministic) and ask whether the remaining fibers still complete.
+
+   - Any run that exhausts the step budget is a blocking witness: some
+     peer waits on a write the frozen fiber will never perform (a held
+     lock, an unfrozen batch, an unserved combiner slot). Verdict
+     [Blocking], with the witness point for reproduction via
+     {!suspended_run}.
+   - If for every victim the sweep runs off the end of the victim's own
+     execution (the victim completes before reaching the point — no
+     suspension point remains) with all peers completing every time, no
+     single suspension can stop the system: verdict [Lock_free].
+
+   This is lock-freedom in the operational, crash-failure sense the
+   progress literature uses (Herlihy & Shavit): the system as a whole
+   completes operations even if any single thread stops forever. It is a
+   *bounded* check — one victim at a time, fair baseline, [max_suspensions]
+   cap per victim — so [Lock_free] is evidence over the swept space, while
+   [Blocking] verdicts are definitive witnesses. *)
+let classify ?(quantum = 8) ?(max_steps = 20_000) ?(max_suspensions = 2_000)
+    ~fibers scenario =
+  let runs = ref 0 in
+  let blocked = ref None in
+  (try
+     for victim = 0 to fibers - 1 do
+       let after = ref 1 in
+       let sweeping = ref true in
+       while !sweeping do
+         if !after > max_suspensions then sweeping := false
+         else begin
+           incr runs;
+           match suspended_run ~quantum ~max_steps ~victim ~after:!after
+                   scenario
+           with
+           | Survived { engaged = true } -> incr after
+           | Survived { engaged = false } ->
+               (* the victim completed before its [!after]th access: this
+                  victim has no further suspension points *)
+               sweeping := false
+           | Blocked ->
+               blocked := Some (victim, !after);
+               raise Stdlib.Exit
+           | Crashed msg ->
+               failwith
+                 (Printf.sprintf
+                    "Explore.classify: raised under suspension of fiber %d \
+                     at access %d: %s"
+                    victim !after msg)
+         end
+       done
+     done
+   with Stdlib.Exit -> ());
+  match !blocked with
+  | Some w -> { verdict = Blocking; witness = Some w; runs = !runs }
+  | None -> { verdict = Lock_free; witness = None; runs = !runs }
+
+let progress_class_to_string = function
+  | Blocking -> "blocking"
+  | Lock_free -> "lock_free"

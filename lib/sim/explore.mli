@@ -94,3 +94,58 @@ val replay :
   schedule:placement list ->
   (unit -> (unit -> unit) list * (unit -> bool)) ->
   one_outcome
+
+(** {1 Adversarial suspension: the mechanical lock-freedom check}
+
+    The progress prong's dynamic classifier (docs/ANALYSIS.md, "Progress
+    prong"): freeze one fiber forever at a chosen point mid-operation and
+    ask whether the rest of the system still completes — the operational,
+    crash-failure reading of lock-freedom (a blocking algorithm has a
+    state in which a stopped thread stalls its peers; a lock-free one has
+    none). *)
+
+type progress_class = Blocking | Lock_free
+
+type suspension_outcome =
+  | Survived of { engaged : bool }
+      (** every non-victim fiber completed; [engaged] is [false] when the
+          victim finished before reaching the suspension point *)
+  | Blocked  (** the step budget ran out: the peers spun forever *)
+  | Crashed of string
+
+(** Run the scenario once under the fair round-robin baseline with fiber
+    [victim] frozen just before its [after]th atomic access. The
+    scenario's final check is not consulted (the frozen fiber's operation
+    is legitimately half-done); the verdict is only whether the peers ran
+    to completion. *)
+val suspended_run :
+  ?quantum:int ->
+  ?max_steps:int ->
+  victim:int ->
+  after:int ->
+  (unit -> (unit -> unit) list * (unit -> bool)) ->
+  suspension_outcome
+
+type classification = {
+  verdict : progress_class;
+  witness : (int * int) option;
+      (** [(victim, access index)] whose suspension blocked the peers *)
+  runs : int;  (** suspension runs performed *)
+}
+
+(** Sweep every single-fiber suspension point of the scenario ([fibers]
+    is the number of fiber bodies it returns): each victim in turn is
+    frozen before its 1st, 2nd, ... access until it completes naturally
+    (or [max_suspensions] caps the sweep). Any run that exhausts
+    [max_steps] is a definitive [Blocking] witness, reproducible with
+    {!suspended_run}; surviving the whole sweep is (bounded) evidence of
+    [Lock_free]. Raises [Failure] if a fiber raises under suspension. *)
+val classify :
+  ?quantum:int ->
+  ?max_steps:int ->
+  ?max_suspensions:int ->
+  fibers:int ->
+  (unit -> (unit -> unit) list * (unit -> bool)) ->
+  classification
+
+val progress_class_to_string : progress_class -> string

@@ -31,6 +31,12 @@ open Sim_effects
 exception Deadlock
 exception Not_in_simulation
 
+exception Stalled
+(* Raised when [run ~max_events] exceeds its event budget: with a fiber
+   frozen by [~suspend], the peers of a blocking algorithm spin forever
+   and virtual time grows without completing — the discrete-event
+   analogue of {!Explore}'s livelock verdict. *)
+
 (* ------------------------------------------------------------------ *)
 (* Binary min-heap of runnable fibers, keyed by (time, fid) so that      *)
 (* scheduling is deterministic.                                          *)
@@ -115,6 +121,12 @@ type ctx = {
   mutable joiner : (fiber * (unit, unit) Effect.Deep.continuation) option;
   mutable max_end_time : int;
   mutable events : int;
+  (* Suspension adversary: freeze fiber [fid] just before its [n]th
+     atomic access (see {!Explore.classify} for the bounded-sweep
+     version; here a single point suffices for regression pinning). *)
+  suspend : (int * int) option;
+  mutable suspend_seen : int;
+  max_events : int option; (* raise [Stalled] past this many events *)
 }
 
 type stats = {
@@ -163,6 +175,9 @@ and reschedule ctx fiber new_time k =
   in
   fiber.time <- new_time;
   ctx.events <- ctx.events + 1;
+  (match ctx.max_events with
+  | Some m when ctx.events > m -> raise Stalled
+  | _ -> ());
   match Heap.min_key ctx.heap with
   | Some key when key < key_of fiber ->
       Heap.push ctx.heap fiber.time fiber.fid (Resume (fiber, k));
@@ -181,6 +196,7 @@ and run_fiber ctx fiber body =
           | Some d -> Sec_analysis.Race_detector.on_exit d ~fiber:fiber.fid
           | None -> ());
           Sim_effects.Reclaim.on_fiber_exit fiber.fid;
+          Sim_effects.Progress.on_fiber_exit fiber.fid;
           schedule ctx);
       exnc = raise;
       effc =
@@ -189,11 +205,31 @@ and run_fiber ctx fiber body =
           | Access (loc, kind) ->
               Some
                 (fun (k : (a, _) continuation) ->
-                  let new_time =
-                    Cache_model.access ctx.cache ~core:fiber.core
-                      ~socket:fiber.socket ~loc ~now:fiber.time kind
+                  let freeze =
+                    match ctx.suspend with
+                    | Some (victim, after) when fiber.fid = victim ->
+                        ctx.suspend_seen <- ctx.suspend_seen + 1;
+                        ctx.suspend_seen = after
+                    | _ -> false
                   in
-                  reschedule ctx fiber new_time k)
+                  if freeze then begin
+                    (* Suspension adversary: the victim stops forever
+                       just before the access executes. Its continuation
+                       is dropped; it no longer counts as a live worker,
+                       so [await_all] waits only for its peers. *)
+                    ctx.max_end_time <- max ctx.max_end_time fiber.time;
+                    if not fiber.is_main then
+                      ctx.live_workers <- ctx.live_workers - 1;
+                    schedule ctx
+                  end
+                  else begin
+                    Sim_effects.Progress.on_event fiber.fid;
+                    let new_time =
+                      Cache_model.access ctx.cache ~core:fiber.core
+                        ~socket:fiber.socket ~loc ~now:fiber.time kind
+                    in
+                    reschedule ctx fiber new_time k
+                  end)
           | Relax n -> Some (fun k -> reschedule ctx fiber (fiber.time + max 1 n) k)
           | Yield ->
               Some
@@ -255,7 +291,8 @@ and run_fiber ctx fiber body =
 (* ------------------------------------------------------------------ *)
 (* Public API                                                           *)
 
-let run ?(seed = 42) ?(jitter = 0) ?detector ?reclaim_checker ~topology f =
+let run ?(seed = 42) ?(jitter = 0) ?detector ?reclaim_checker ?progress
+    ?suspend ?max_events ~topology f =
   let ctx =
     {
       topo = topology;
@@ -269,6 +306,9 @@ let run ?(seed = 42) ?(jitter = 0) ?detector ?reclaim_checker ~topology f =
       joiner = None;
       max_end_time = 0;
       events = 0;
+      suspend;
+      suspend_seen = 0;
+      max_events;
     }
   in
   let result = ref None in
@@ -286,6 +326,11 @@ let run ?(seed = 42) ?(jitter = 0) ?detector ?reclaim_checker ~topology f =
   let start =
     match reclaim_checker with
     | Some c -> fun () -> Sec_analysis.Reclaim_checker.with_checker c start
+    | None -> start
+  in
+  let start =
+    match progress with
+    | Some m -> fun () -> Sec_analysis.Progress_monitor.with_monitor m start
     | None -> start
   in
   (match detector with

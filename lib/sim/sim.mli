@@ -9,6 +9,12 @@
 exception Deadlock
 exception Not_in_simulation
 
+exception Stalled
+(** Raised when [run ~max_events] exceeds its event budget — the
+    discrete-event analogue of {!Explore}'s livelock verdict: with a
+    fiber frozen by [~suspend], the peers of a blocking algorithm spin
+    forever instead of completing. *)
+
 type stats = {
   elapsed_cycles : int;  (** makespan: latest fiber end time *)
   events : int;  (** scheduling events (atomic accesses etc.) *)
@@ -29,12 +35,29 @@ type stats = {
     When [reclaim_checker] is given it is likewise installed for the
     duration: instrumented reclamation code (lib/reclaim) feeds its
     shadow heap, and fiber completion is reported so leaked guards are
-    caught. Inspect it with {!Sec_analysis.Reclaim_checker.reports}. *)
+    caught. Inspect it with {!Sec_analysis.Reclaim_checker.reports}.
+
+    When [progress] is given it is installed for the duration: every
+    atomic access feeds {!Sec_analysis.Progress_monitor.on_event} and
+    fiber completion clears in-flight operations; operation boundaries
+    come from the workload loop's [note_op_*] hooks. Inspect it with
+    {!Sec_analysis.Progress_monitor.reports}.
+
+    [suspend:(fid, n)] is the suspension adversary (see
+    {!Explore.classify} for the sweeping classifier): fiber [fid] is
+    frozen forever just before its [n]th atomic access. A frozen worker
+    stops counting as live, so [await_all] returns once its peers
+    finish — unless they spin on the victim's next write, in which case
+    the run never completes: bound it with [max_events] and catch
+    {!Stalled}. *)
 val run :
   ?seed:int ->
   ?jitter:int ->
   ?detector:Sec_analysis.Race_detector.t ->
   ?reclaim_checker:Sec_analysis.Reclaim_checker.t ->
+  ?progress:Sec_analysis.Progress_monitor.t ->
+  ?suspend:int * int ->
+  ?max_events:int ->
   topology:Topology.t ->
   (unit -> 'a) ->
   'a * stats

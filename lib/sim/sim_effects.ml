@@ -53,6 +53,25 @@ module Reclaim = struct
     | Some c -> Sec_analysis.Reclaim_checker.on_fiber_exit c ~fiber:fid
 end
 
+module Progress = struct
+  (* Scheduling-event feed for the progress monitor
+     ({!Sec_analysis.Progress_monitor}): both schedulers call this at
+     every atomic access they account for, passing the fiber id they
+     already hold — no effect is performed, so the feed never perturbs
+     the schedule. The monitor's operation boundaries are fed directly by
+     the workload loop ({!Sec_harness.Runner}) through the [note_op_*]
+     hooks. One ref read when no monitor is installed. *)
+  let on_event fid =
+    match !Sec_analysis.Progress_monitor.active with
+    | None -> ()
+    | Some m -> Sec_analysis.Progress_monitor.on_event m ~fiber:fid
+
+  let on_fiber_exit fid =
+    match !Sec_analysis.Progress_monitor.active with
+    | None -> ()
+    | Some m -> Sec_analysis.Progress_monitor.on_fiber_exit m ~fiber:fid
+end
+
 module Prim : Sec_prim.Prim_intf.EXEC with type budget = int = struct
   module Atomic = struct
     type 'a t = { loc : int; mutable v : 'a }

@@ -1,6 +1,10 @@
 (* "CC": the sequential stack protected by the CC-Synch combining executor
    [Fatourou & Kallimanis 2012], as used in the paper's comparison. *)
 
+(* Combining is blocking: suspend the combiner mid-drain and every
+   enqueued announcement waits forever on its node's flag. *)
+[@@@progress "blocking"]
+
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module Ccsynch = Ccsynch.Make (P)
 

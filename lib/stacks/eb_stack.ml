@@ -10,6 +10,10 @@
    (spread the load over more cache lines); lonely timeouts shrink it
    (concentrate so partners actually meet). *)
 
+(* A failed top-CAS means a peer succeeded, and every exchanger visit is
+   bounded by its timeout — no wait depends on one specific thread. *)
+[@@@progress "lock_free"]
+
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module A = P.Atomic
   module Exchanger = Exchanger.Make (P)
@@ -99,7 +103,7 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
 
   let pop t ~tid =
     let rec attempt () =
-      match A.get t.top with
+      (match A.get t.top with
       | Nil -> None
       | Cons { value; next } as cur ->
           if A.compare_and_set t.top cur next then begin
@@ -115,7 +119,10 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
             | Some (Some v) -> Some v (* met a push *)
             | Some None -> assert false
             | None -> attempt ()
-          end
+          end)
+      [@await_ok
+        "the elimination layer IS the backoff: every retry first spends \
+         timeout-bounded rounds in the exchangers, doubling per failure"]
     in
     attempt ()
 

@@ -2,6 +2,10 @@
    the flat-combining stack of Hendler et al. used in the paper's
    comparison. All operations, including peek, go through the combiner. *)
 
+(* Combining is blocking: suspend the combiner mid-scan and every
+   announced operation waits forever on its result slot. *)
+[@@@progress "blocking"]
+
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module Fc = Fc.Make (P)
 

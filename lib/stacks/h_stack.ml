@@ -2,6 +2,10 @@
    combining executor — an extension baseline (not in the paper's
    comparison; see Hsynch). *)
 
+(* Combining is blocking at both levels: suspend a per-socket combiner
+   (or the global-lock holder) and its whole cohort waits forever. *)
+[@@@progress "blocking"]
+
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module Hsynch = Hsynch.Make (P)
 

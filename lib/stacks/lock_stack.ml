@@ -3,6 +3,11 @@
    paper's comparison, but useful to calibrate how much the cleverer
    designs actually buy. *)
 
+(* A thread suspended inside its critical section stops every other
+   thread cold — the definition of blocking. The suspension classifier
+   confirms this mechanically (docs/ANALYSIS.md, "Progress prong"). *)
+[@@@progress "blocking"]
+
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module A = P.Atomic
   module Backoff = Sec_prim.Backoff.Make (P)
@@ -14,18 +19,26 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   let create ?max_threads:_ () =
     { lock = A.make_padded false; items = Sec_spec.Seq_stack.create () }
 
+  (* Failed exchange attempts before a waiter stops trusting backoff and
+     yields its quantum outright. Matters when threads outnumber cores:
+     the holder may be descheduled, and a waiter that merely spins keeps
+     the holder off the core for its whole quantum. *)
+  let yield_budget = 4
+
   let acquire t =
     let backoff = Backoff.create () in
-    let rec attempt () =
+    let rec attempt tries =
       if A.exchange t.lock true then begin
         (* Lock taken: spin on reads (cheap, line stays Shared), back off,
-           then retry the exchange. *)
+           then retry the exchange. Past [yield_budget] the backoff step
+           becomes a yield, handing the core to the (likely descheduled)
+           holder. *)
         Backoff.spin_while (fun () -> A.get t.lock);
-        Backoff.once backoff;
-        attempt ()
+        if tries >= yield_budget then P.yield () else Backoff.once backoff;
+        attempt (tries + 1)
       end
     in
-    attempt ()
+    attempt 0
 
   let release t = A.set t.lock false
 

@@ -4,6 +4,11 @@
    every other implementation is measured against: all its cache traffic
    concentrates on the one cache line holding [top]. *)
 
+(* Progress class (checked by sec_lint and, dynamically, by the
+   suspension classifier): a failed CAS means another operation
+   succeeded, so a suspended thread never stops its peers. *)
+[@@@progress "lock_free"]
+
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module A = P.Atomic
   module Backoff = Sec_prim.Backoff.Make (P)

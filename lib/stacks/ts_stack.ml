@@ -14,6 +14,10 @@
    what the published algorithm does lazily: the owner unlinks taken nodes
    from the head on its next push. *)
 
+(* Pushes touch only the pusher's own pool; a pop losing the [taken] CAS
+   means a peer claimed the node. No wait names a specific thread. *)
+[@@@progress "lock_free"]
+
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module A = P.Atomic
 

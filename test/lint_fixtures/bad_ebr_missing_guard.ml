@@ -2,6 +2,8 @@
    [Ebr.guard] wrapper — every node-field read in them is a potential
    use-after-free and must be flagged. push keeps its guard and must
    stay clean. *)
+[@@@progress "lock_free"]
+
 module A = Atomic
 module E = Ebr.Make (Prim)
 
@@ -10,15 +12,20 @@ type 'a t = { top : 'a node option A.t; ebr : E.t }
 
 let push t ~tid v =
   E.guard t.ebr ~tid (fun () ->
+      let backoff = Backoff.create () in
       let rec attempt () =
         let cur = A.get t.top in
         if A.compare_and_set t.top cur (Some { value = v; next = cur; chk = 0 })
         then ()
-        else attempt ()
+        else begin
+          Backoff.once backoff;
+          attempt ()
+        end
       in
       attempt ())
 
 let pop t ~tid =
+  let backoff = Backoff.create () in
   let rec attempt () =
     match A.get t.top with
     | None -> None
@@ -28,7 +35,10 @@ let pop t ~tid =
           E.retire t.ebr ~tid (fun () -> ());
           Some n.value (* EXPECT ebr-guard *)
         end
-        else attempt ()
+        else begin
+          Backoff.once backoff;
+          attempt ()
+        end
   in
   attempt ()
 

@@ -1,0 +1,48 @@
+(* retry-discipline: spin loops on shared atomics with no pacing call.
+   Both shapes the rule knows — a [while] on an atomic read and a
+   recursive CAS loop — appear bare (flagged) and then paced or
+   annotated (clean). The module binds [push] but not [pop], so the
+   progress-class rule stays out of the way. *)
+module A = Atomic
+
+type t = { flag : bool A.t; word : int A.t }
+
+(* Bare busy-wait: burns its quantum while the writer is descheduled. *)
+let wait_ready t =
+  while not (A.get t.flag) do (* EXPECT retry-discipline *)
+    ()
+  done
+
+(* Bare CAS loop: retries flat-out against every contender. *)
+let push t v =
+  let rec attempt () = (* EXPECT retry-discipline *)
+    let cur = A.get t.word in
+    if not (A.compare_and_set t.word cur (cur + v)) then attempt ()
+  in
+  attempt ()
+
+(* Paced variants of both shapes: clean. *)
+let wait_ready_paced t =
+  while not (A.get t.flag) do
+    Prim.relax 8
+  done
+
+let add_paced t v =
+  let backoff = Backoff.create () in
+  let rec attempt () =
+    let cur = A.get t.word in
+    if not (A.compare_and_set t.word cur (cur + v)) then begin
+      Backoff.once backoff;
+      attempt ()
+    end
+  in
+  attempt ()
+
+(* Annotated variant: the wait is bounded by protocol, so a bare loop
+   is a deliberate choice the author signs with a reason. *)
+let take_turn t =
+  let rec attempt () =
+    (if not (A.compare_and_set t.word 0 1) then attempt ())
+    [@await_ok "at most two parties alternate on [word]; see the docs"]
+  in
+  attempt ()

@@ -1,0 +1,21 @@
+(* progress-class: a module that implements the stack interface (binds
+   both [push] and [pop]) but never declares [@@@progress "..."]. The
+   waiting is correctly paced, so only the missing declaration fires —
+   anchored at the later of the two bindings. *)
+module A = Atomic
+
+type 'a t = { lock : bool A.t; items : 'a list ref }
+
+let acquire t = Backoff.spin_while (fun () -> not (A.compare_and_set t.lock false true))
+let release t = A.set t.lock false
+
+let push t v =
+  acquire t;
+  t.items := v :: !t.items;
+  release t
+
+let pop t = (* EXPECT progress-class *)
+  acquire t;
+  let r = match !(t.items) with [] -> None | x :: rest -> t.items := rest; Some x in
+  release t;
+  r

@@ -16,6 +16,7 @@ let rec youngest n =
 
 let pop t ~tid =
   E.guard t.ebr ~tid (fun () ->
+      let backoff = Backoff.create () in
       let rec attempt () =
         match A.get t.top with
         | None -> None
@@ -24,7 +25,10 @@ let pop t ~tid =
               E.retire t.ebr ~tid (fun () -> ());
               Some n.value
             end
-            else attempt ()
+            else begin
+              Backoff.once backoff;
+              attempt ()
+            end
       in
       attempt ())
 

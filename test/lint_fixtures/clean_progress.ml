@@ -1,0 +1,45 @@
+(* Clean progress discipline: a declared lock-free module whose retry
+   loops are paced, plus one protocol-bounded wait under [@await_ok].
+   The self-test asserts the lint reports nothing here — this file pins
+   the progress rules' false-positive behaviour. *)
+[@@@progress "lock_free"]
+
+module A = Atomic
+
+type 'a node = Nil | Cons of { value : 'a; next : 'a node }
+type 'a t = { top : 'a node A.t; seal : int A.t }
+
+let push t v =
+  let backoff = Backoff.create () in
+  let rec attempt () =
+    let cur = A.get t.top in
+    if not (A.compare_and_set t.top cur (Cons { value = v; next = cur }))
+    then begin
+      Backoff.once backoff;
+      attempt ()
+    end
+  in
+  attempt ()
+
+let pop t =
+  let backoff = Backoff.create () in
+  let rec attempt () =
+    match A.get t.top with
+    | Nil -> None
+    | Cons { value; next } as cur ->
+        if A.compare_and_set t.top cur next then Some value
+        else begin
+          Backoff.once backoff;
+          attempt ()
+        end
+  in
+  attempt ()
+
+(* A bounded wait inside a declared lock-free module: legal only under
+   an [@await_ok] extent, which covers both the [while]-on-atomic shape
+   and the [spin_until] helper it delegates to. *)
+let drain_seal t =
+  (while A.get t.seal <> 0 do
+     Backoff.spin_until (fun () -> A.get t.seal = 0)
+   done)
+  [@await_ok "the sealer publishes 0 within a bounded number of steps"]

@@ -187,6 +187,138 @@ let test_retire_ok_accepted () =
     (List.length (check src))
 
 (* -------------------------------------------------------------------- *)
+(* retry-discipline (the static prong of the progress layer) *)
+
+let test_while_on_atomic_fires () =
+  let src = "let wait f = while not (A.get f) do () done\n" in
+  match check src with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "retry-discipline" d.L.rule;
+      Alcotest.(check int) "line of the while" 1 d.L.line
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let test_bare_cas_loop_fires () =
+  let src =
+    "let bump c =\n\
+    \  let rec attempt () =\n\
+    \    let cur = A.get c in\n\
+    \    if not (A.compare_and_set c cur (cur + 1)) then attempt ()\n\
+    \  in\n\
+    \  attempt ()\n"
+  in
+  (match check src with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "retry-discipline" d.L.rule;
+      Alcotest.(check int) "line of the rec binding" 2 d.L.line
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds));
+  (* Same shape at structure level. *)
+  let src =
+    "let rec spin c = if not (A.compare_and_set c 0 1) then spin c\n"
+  in
+  Alcotest.(check (list string)) "top-level rec loop fires"
+    [ "retry-discipline" ] (rules (check src))
+
+let test_paced_loops_clean () =
+  let src =
+    "let wait f = while not (A.get f) do P.relax 8 done\n\
+     let bump c =\n\
+    \  let backoff = Backoff.create () in\n\
+    \  let rec attempt () =\n\
+    \    let cur = A.get c in\n\
+    \    if not (A.compare_and_set c cur (cur + 1)) then begin\n\
+    \      Backoff.once backoff;\n\
+    \      attempt ()\n\
+    \    end\n\
+    \  in\n\
+    \  attempt ()\n"
+  in
+  Alcotest.(check int) "paced loops are clean" 0 (List.length (check src))
+
+let test_await_ok_accepted () =
+  let src =
+    "let take c =\n\
+    \  let rec attempt () =\n\
+    \    (if not (A.compare_and_set c 0 1) then attempt ())\n\
+    \    [@await_ok \"two parties alternate\"]\n\
+    \  in\n\
+    \  attempt ()\n"
+  in
+  Alcotest.(check int) "annotated loop is clean" 0 (List.length (check src))
+
+let test_empty_await_ok_rejected () =
+  let src =
+    "let wait f = (while not (A.get f) do () done) [@await_ok \"\"]\n"
+  in
+  Alcotest.(check (list string)) "empty reason still fires"
+    [ "retry-discipline" ] (rules (check src))
+
+let test_non_shared_loop_clean () =
+  (* A recursive loop with no atomic RMW inside is not a retry loop. *)
+  let src = "let rec length = function [] -> 0 | _ :: t -> 1 + length t\n" in
+  Alcotest.(check int) "pure recursion is clean" 0 (List.length (check src))
+
+(* -------------------------------------------------------------------- *)
+(* progress-class *)
+
+let test_missing_declaration_fires () =
+  let src =
+    "let push t v = ignore (t, v)\n\
+     let pop t = ignore t; None\n"
+  in
+  match check src with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "progress-class" d.L.rule;
+      Alcotest.(check int) "anchored at the later binding" 2 d.L.line
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let test_declared_module_clean () =
+  let src =
+    "[@@@progress \"blocking\"]\n\
+     let push t v = ignore (t, v)\n\
+     let pop t = ignore t; None\n"
+  in
+  Alcotest.(check int) "declared module is clean" 0 (List.length (check src))
+
+let test_invalid_payload_fires () =
+  let src =
+    "[@@@progress \"wait_free\"]\n\
+     let push t v = ignore (t, v)\n\
+     let pop t = ignore t; None\n"
+  in
+  Alcotest.(check (list string)) "unknown class rejected"
+    [ "progress-class" ] (rules (check src))
+
+let test_lock_free_spin_fires () =
+  let src =
+    "[@@@progress \"lock_free\"]\n\
+     let push t v = ignore (t, v)\n\
+     let pop t = Backoff.spin_until (fun () -> A.get t.done_); None\n"
+  in
+  match check src with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "progress-class" d.L.rule;
+      Alcotest.(check int) "line of the spin" 3 d.L.line
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let test_lock_free_spin_await_ok_accepted () =
+  let src =
+    "[@@@progress \"lock_free\"]\n\
+     let push t v = ignore (t, v)\n\
+     let pop t =\n\
+    \  (Backoff.spin_until (fun () -> A.get t.done_)\n\
+    \   [@await_ok \"publisher finishes in a bounded number of steps\"]);\n\
+    \  None\n"
+  in
+  Alcotest.(check int) "annotated spin in lock_free module is clean" 0
+    (List.length (check src))
+
+let test_half_interface_needs_no_declaration () =
+  (* Binding push alone (a helper module, say) is not a stack. *)
+  let src = "let push t v = ignore (t, v)\n" in
+  Alcotest.(check int) "push without pop: no declaration needed" 0
+    (List.length (check src))
+
+(* -------------------------------------------------------------------- *)
 (* Scoping and the driver-facing surface *)
 
 let test_scope_of_path () =
@@ -282,6 +414,34 @@ let () =
             test_retire_gated_by_cas_clean;
           Alcotest.test_case "retire_ok accepted" `Quick
             test_retire_ok_accepted;
+        ] );
+      ( "retry-discipline",
+        [
+          Alcotest.test_case "while on atomic fires" `Quick
+            test_while_on_atomic_fires;
+          Alcotest.test_case "bare CAS loop fires" `Quick
+            test_bare_cas_loop_fires;
+          Alcotest.test_case "paced loops clean" `Quick test_paced_loops_clean;
+          Alcotest.test_case "await_ok accepted" `Quick test_await_ok_accepted;
+          Alcotest.test_case "empty reason rejected" `Quick
+            test_empty_await_ok_rejected;
+          Alcotest.test_case "pure recursion clean" `Quick
+            test_non_shared_loop_clean;
+        ] );
+      ( "progress-class",
+        [
+          Alcotest.test_case "missing declaration fires" `Quick
+            test_missing_declaration_fires;
+          Alcotest.test_case "declared module clean" `Quick
+            test_declared_module_clean;
+          Alcotest.test_case "invalid payload rejected" `Quick
+            test_invalid_payload_fires;
+          Alcotest.test_case "lock_free spin fires" `Quick
+            test_lock_free_spin_fires;
+          Alcotest.test_case "lock_free spin under await_ok" `Quick
+            test_lock_free_spin_await_ok_accepted;
+          Alcotest.test_case "half interface exempt" `Quick
+            test_half_interface_needs_no_declaration;
         ] );
       ( "scope",
         [
