@@ -142,6 +142,95 @@ let sweep_cmd =
     Term.(const run $ opts_term $ machine_arg $ workload_arg $ algos_arg
           $ threads_arg)
 
+(* Machine-readable baseline: pinned sim (or native) runs over every
+   structure, with allocation counts and magazine hit rates; optionally
+   emitted as BENCH_<backend>.json and/or compared against a checked-in
+   baseline (exit 1 past the regression threshold). Wired into
+   `dune build @bench-smoke` with `--against BENCH_sim.json`. *)
+let bench_cmd =
+  let module J = Sec_harness.Bench_json in
+  let backend_arg =
+    let doc = "Substrate to benchmark: $(b,sim) or $(b,native)." in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("sim", `Sim); ("native", `Native) ]) `Sim
+      & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let emit_arg =
+    let doc =
+      "Write the results as JSON to $(docv) (default \
+       BENCH_<backend>.json when the flag is given without a value)."
+    in
+    Arg.(
+      value
+      & opt ~vopt:(Some "") (some string) None
+      & info [ "emit-json" ] ~docv:"PATH" ~doc)
+  in
+  let against_arg =
+    let doc =
+      "Compare against the baseline JSON at $(docv); exit non-zero if \
+       any paper-set structure's throughput regresses past the \
+       threshold."
+    in
+    Arg.(value & opt (some string) None & info [ "against" ] ~docv:"PATH" ~doc)
+  in
+  let threshold_arg =
+    let doc = "Allowed fractional throughput regression (default 0.10)." in
+    Arg.(value & opt float 0.10 & info [ "threshold" ] ~docv:"F" ~doc)
+  in
+  let run seed backend emit against threshold =
+    let doc =
+      match backend with
+      | `Sim -> J.collect_sim ~seed ()
+      | `Native -> J.collect_native ~seed ()
+    in
+    Printf.printf "bench [%s %s, seed %d]: %d rows (%s)\n" doc.J.backend
+      doc.J.machine doc.J.seed (List.length doc.J.rows) doc.J.unit_label;
+    List.iter
+      (fun (r : J.row) ->
+        Printf.printf
+          "  %-10s t=%d  ops=%-7d allocs=%-8d throughput=%.6f hit_rate=%.2f\n"
+          r.J.algorithm r.J.threads r.J.ops r.J.allocs r.J.throughput
+          r.J.mag_hit_rate)
+      doc.J.rows;
+    Option.iter
+      (fun path ->
+        let path =
+          if path = "" then Printf.sprintf "BENCH_%s.json" doc.J.backend
+          else path
+        in
+        J.write ~path doc;
+        Printf.printf "wrote %s\n" path)
+      emit;
+    match against with
+    | None -> ()
+    | Some path -> (
+        let baseline = J.read ~path in
+        match J.check ~threshold ~baseline ~current:doc () with
+        | [] ->
+            Printf.printf
+              "baseline %s: no paper-set regression beyond %.0f%%\n" path
+              (100. *. threshold)
+        | regs ->
+            List.iter
+              (fun (r : J.regression) ->
+                Printf.eprintf
+                  "REGRESSION %s t=%d: %.6f -> %.6f (%.1f%% below baseline)\n"
+                  r.J.r_algorithm r.J.r_threads r.J.baseline r.J.current
+                  (100. *. (1. -. (r.J.current /. r.J.baseline))))
+              regs;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "Run the pinned benchmark baseline (throughput + allocations + \
+          magazine hit rate), optionally emitting/checking \
+          BENCH_<backend>.json")
+    Term.(
+      const run $ seed_arg $ backend_arg $ emit_arg $ against_arg
+      $ threshold_arg)
+
 let algos_cmd =
   let run () =
     List.iter
@@ -161,4 +250,6 @@ let () =
          '26) on a simulated NUMA machine"
   in
   exit
-    (Cmd.eval (Cmd.group info [ list_cmd; run_cmd; all_cmd; sweep_cmd; algos_cmd ]))
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; run_cmd; all_cmd; sweep_cmd; bench_cmd; algos_cmd ]))

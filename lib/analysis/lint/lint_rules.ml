@@ -50,6 +50,14 @@
       [spin_while] outside an [@await_ok] extent) — such a wait requires
       the blocking declaration.
 
+   8. [fresh-node] — in discipline modules that recycle nodes through
+      {!Sec_reclaim.Magazine}, a node record literal (a record whose
+      labels are all fields of a node type) is a hot-path allocation the
+      magazine was built to avoid. Allocation must go through
+      [Mag.alloc], with the literal only as the miss fallback, annotated
+      [@fresh_ok "why a fresh node is acceptable here"]. Like the other
+      intent annotations, [@fresh_ok] covers its whole subtree.
+
    The checker is syntactic by design: it recognises the repo idiom
    ([module A = P.Atomic], [A.make] / [Atomic.make], [module Ebr =
    Ebr.Make (P)], [Ebr.guard] / [Ebr.retire]) rather than doing
@@ -191,11 +199,13 @@ let contains_sub s sub =
   scan 0
 
 (* The ebr rules apply only to modules that actually reference [Ebr]
-   (aliasing it, applying [Ebr.Make], or calling through it). *)
-let structure_uses_ebr structure =
+   (aliasing it, applying [Ebr.Make], or calling through it); likewise
+   the fresh-node rule arms only in modules that reference [Magazine].
+   Both scans share this iterator shape. *)
+let structure_references pred structure =
   let found = ref false in
   let check_lid lid =
-    match flatten_longident lid with "Ebr" :: _ -> found := true | _ -> ()
+    if List.exists pred (flatten_longident lid) then found := true
   in
   let it =
     {
@@ -217,8 +227,13 @@ let structure_uses_ebr structure =
   it.structure it structure;
   !found
 
+let structure_uses_ebr = structure_references (fun c -> c = "Ebr")
+let structure_uses_magazine = structure_references (fun c -> c = "Magazine")
+
 (* Field names of reclaimable-node records: every record type whose name
-   contains "node". Dereferencing these is what the guard protects. *)
+   contains "node". Dereferencing these is what the guard protects (rule
+   4); a literal built from nothing but these fields is what the
+   fresh-node rule flags (rule 8). *)
 let collect_node_fields structure =
   let fields = Hashtbl.create 16 in
   let it =
@@ -278,6 +293,7 @@ type ctx = {
   retire_covered : bool; (* inside an [@retire_ok "..."] subtree (rule 5) *)
   await_covered : bool;
       (* inside an [@await_ok "..."] subtree (rules 6 and 7) *)
+  fresh_covered : bool; (* inside a [@fresh_ok "..."] subtree (rule 8) *)
 }
 
 (* The shared subtree-covering annotation discipline: an annotation with
@@ -298,6 +314,7 @@ let covering_annotations =
     ("unguarded_ok", fun ctx -> { ctx with in_guard = true });
     ("retire_ok", fun ctx -> { ctx with retire_covered = true });
     ("await_ok", fun ctx -> { ctx with await_covered = true });
+    ("fresh_ok", fun ctx -> { ctx with fresh_covered = true });
   ]
 
 let enter_covering (e : expression) ctx =
@@ -331,8 +348,12 @@ let check_structure ~file ~scope structure =
   in
 
   let ebr_rules = scope.check_discipline && structure_uses_ebr structure in
+  let magazine_rules =
+    scope.check_discipline && structure_uses_magazine structure
+  in
   let node_fields =
-    if ebr_rules then collect_node_fields structure else Hashtbl.create 0
+    if ebr_rules || magazine_rules then collect_node_fields structure
+    else Hashtbl.create 0
   in
 
   (* Rule 7 pre-pass: [@@@progress] declarations and push/pop bindings
@@ -492,6 +513,15 @@ let check_structure ~file ~scope structure =
             (docs/ANALYSIS.md, \"Progress prong\")"
      | _ -> ()
    end);
+  (* Rule 8: node literals outside the magazine-miss fallback. *)
+  let check_fresh_node loc =
+    add loc "fresh-node"
+      "node record constructed directly in a module that recycles nodes \
+       through Magazine: the hot path must try Mag.alloc first and only \
+       fall back to a literal on a miss; annotate that fallback \
+       [@fresh_ok \"why a fresh node is acceptable here\"]"
+  in
+
   let check_lock_free_spin loc =
     add loc "progress-class"
       "module declared [@@@progress \"lock_free\"] but waits unboundedly \
@@ -561,6 +591,15 @@ let check_structure ~file ~scope structure =
             expr branch_ctx c.pc_rhs)
           cases
     | Pexp_record (fields, base) ->
+        (if
+           magazine_rules && Option.is_none base
+           && (not ctx.fresh_covered)
+           && fields <> []
+           && List.for_all
+                (fun (({ txt; _ } : Longident.t Location.loc), _) ->
+                  Hashtbl.mem node_fields (last_component txt))
+                fields
+         then check_fresh_node e.pexp_loc);
         Option.iter (expr ctx) base;
         List.iter
           (fun (_, v) -> expr { ctx with in_shared_block = true } v)
@@ -612,6 +651,7 @@ let check_structure ~file ~scope structure =
       in_cas_branch = false;
       retire_covered = false;
       await_covered = false;
+      fresh_covered = false;
     }
   in
   let iterator =

@@ -37,9 +37,14 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
   module A = P.Atomic
   module Backoff = Sec_prim.Backoff.Make (P)
   module Counter = Sec_prim.Striped_counter.Make (P)
+  module Mag = Sec_reclaim.Magazine.Make (P)
 
   type 'a node = {
-    value : 'a;
+    mutable value : 'a;
+        [@plain_ok
+          "written while the node is private to its pusher (fresh, or \
+           recycled after its last reader provably finished); published \
+           by the elimination-slot store or the combiner's CAS on [top]"]
     mutable next : 'a node option;
         [@plain_ok
           "linked while the node is still private to one combiner; \
@@ -56,6 +61,10 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     batch_applied : bool A.t;
     substack : 'a node option A.t;
         (* chain detached by a pop-side combiner, read by [get_value] *)
+    consumed : int A.t;
+        (* combined pops done reading [substack]; the last one may
+           recycle the detached chain (only touched with
+           [Config.recycle_nodes]) *)
   }
 
   type 'a aggregator = { batch : 'a batch A.t }
@@ -74,6 +83,16 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     capacity : int; (* elimination-array size = max_threads *)
     config : Config.t;
     stats : stats_counters option;
+    (* Zero-allocation hot path ([Config.recycle_nodes]); [recycle]
+       mirrors the config flag so the per-op branch is a plain read. *)
+    recycle : bool;
+    mag : 'a node Mag.t;
+    (* Contention-adaptive sharding ([Config.adaptive]): the number of
+       aggregators announcements actually route to, moved between 1 and
+       [Array.length aggregators] by the freeze-time controller. *)
+    active : int A.t;
+    win_ops : int A.t; (* operations frozen in the current window *)
+    win_batches : int A.t; (* batches frozen in the current window *)
   }
 
   let name = "SEC"
@@ -91,10 +110,21 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
       freezer_decided = A.make_padded false;
       batch_applied = A.make_padded false;
       substack = A.make_padded None;
+      consumed = A.make_padded 0;
     }
 
   let create_with ~config ?(max_threads = 64) () =
-    Config.validate config;
+    (* Routing is [tid mod K] with every tid below [max_threads], so
+       clamping K to the thread count is routing-equivalent (aggregators
+       past it could never be reached) — it keeps harness runs at low
+       thread counts working with a high configured K. Nonsensical
+       configurations built by hand still fail [Config.validate]. *)
+    let config =
+      if config.Config.num_aggregators > max_threads then
+        { config with Config.num_aggregators = max_threads }
+      else config
+    in
+    Config.validate ~capacity:max_threads config;
     {
       top = A.make_padded None;
       aggregators =
@@ -113,12 +143,30 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
                excluded = Counter.create ();
              }
          else None);
+      recycle = config.Config.recycle_nodes;
+      mag = Mag.create ~max_threads ();
+      (* Adaptive runs start consolidated (K = 1, the best single-thread
+         setting) and grow under pressure; the field is untouched — and
+         never read — without [Config.adaptive]. *)
+      active = A.make_padded 1;
+      win_ops = A.make_padded 0;
+      win_batches = A.make_padded 0;
     }
 
   let create ?max_threads () = create_with ~config:Config.default ?max_threads ()
 
   let aggregator_of t tid =
-    t.aggregators.(tid mod Array.length t.aggregators)
+    let k =
+      if t.config.Config.adaptive then A.get t.active
+      else Array.length t.aggregators
+    in
+    t.aggregators.(tid mod k)
+
+  (* Current routing width: K under static sharding, the controller's
+     choice under [Config.adaptive] (tests and docs/PERF.md). *)
+  let active_aggregators t =
+    if t.config.Config.adaptive then A.get t.active
+    else Array.length t.aggregators
 
   (* ------------------------------------------------------------------ *)
   (* Freezing (paper: FreezeBatch, lines 28–32)                          *)
@@ -132,6 +180,34 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
         Counter.add s.operations ~tid (pushes + pops);
         Counter.add s.eliminated ~tid eliminated;
         Counter.add s.combined ~tid (pushes + pops - eliminated)
+
+  (* Contention controller (cf. "A Dynamic Elimination-Combining Stack
+     Algorithm", PAPERS.md): every freeze feeds its batch size into a
+     window; once [adapt_window] batches have been frozen, the freezer
+     that closes the window compares the window's mean batching degree
+     against two thresholds and widens or narrows the routing. Hysteresis
+     (grow at a mean of >= [grow_degree] ops/batch, shrink only at
+     <= [shrink_degree]) keeps the controller from oscillating on
+     workloads that hover between the two. Runs without [Config.adaptive]
+     never touch these cells, so the static path is unchanged. *)
+  let adapt_window = 16
+  let grow_degree = 4
+  let shrink_degree_x2 = 3 (* shrink when 2 * mean <= 3, i.e. mean <= 1.5 *)
+
+  let adapt t ~ops =
+    ignore (A.fetch_and_add t.win_ops ops);
+    let b = A.fetch_and_add t.win_batches 1 + 1 in
+    if b >= adapt_window && A.compare_and_set t.win_batches b 0 then begin
+      (* One winner per window: the CAS above closes it, the exchange
+         claims its tally (concurrent freezers may have added a few more
+         ops — they roll into this window's mean, which is fine). *)
+      let total = A.exchange t.win_ops 0 in
+      let k = A.get t.active in
+      if total >= grow_degree * b && k < Array.length t.aggregators then
+        A.set t.active (k + 1)
+      else if 2 * total <= shrink_degree_x2 * b && k > 1 then
+        A.set t.active (k - 1)
+    end
 
   (* The freezer lingers so more operations join the batch, raising the
      elimination/combining degree (paper, Section 3.1). The wait is
@@ -176,6 +252,7 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     A.set batch.pop_at_freeze pops;
     A.set batch.push_at_freeze pushes;
     record_batch_stats t ~tid ~pushes ~pops;
+    if t.config.Config.adaptive then adapt t ~ops:(pushes + pops);
     (* Installing the new batch is what releases the waiting announcers. *)
     A.set aggregator.batch (make_batch t.capacity)
 
@@ -263,12 +340,52 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     in
     walk (A.get batch.substack) offset
 
+  (* The detached chain's nodes are unreachable from [top] (the combiner's
+     CAS snipped them out), so once every combined pop of the batch has
+     read its value the chain can be recycled. Each reader bumps
+     [batch.consumed] *after* its [get_value]; the one that brings it to
+     the participant count walks the chain. [next] is read before the
+     node is recycled: a recycled node can be adopted (via a depot
+     overflow) and re-initialised by another thread immediately. *)
+  let recycle_chain t ~tid batch ~limit =
+    let rec walk node k =
+      if k < limit then
+        match node with
+        | None -> () (* batch outran the stack: chain is shorter *)
+        | Some n ->
+            let next = n.next in
+            Mag.recycle t.mag ~tid n;
+            walk next (k + 1)
+    in
+    walk (A.get batch.substack) 0
+
   (* ------------------------------------------------------------------ *)
   (* Public operations (paper: Algorithms 1 and 2)                       *)
 
+  (* A recycled node is private to this push until the elimination-slot
+     store publishes it: its previous life ended either in an eliminated
+     pop (the only reader read the value before recycling) or in a
+     detached chain whose last reader recycled it after every [get_value]
+     completed, so the in-place stores below race with nothing. *)
+  let make_node t ~tid value =
+    if t.recycle then
+      match Mag.alloc t.mag ~tid with
+      | Some n ->
+          n.value <- value;
+          n.next <- None;
+          n
+      | None ->
+          P.note_alloc ();
+          ({ value; next = None }
+          [@fresh_ok "magazine miss: cold start or pop-starved run"])
+    else begin
+      P.note_alloc ();
+      ({ value; next = None } [@fresh_ok "recycling disabled in config"])
+    end
+
   let push t ~tid value =
     let aggregator = aggregator_of t tid in
-    let node = { value; next = None } in
+    let node = make_node t ~tid value in
     let rec try_batch () =
       let batch = A.get aggregator.batch in
       let seq = A.fetch_and_add batch.push_count 1 in
@@ -314,25 +431,58 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
           ~counter_at_freeze:batch.pop_at_freeze
       then begin
         let push_frozen = A.get batch.push_at_freeze in
-        if seq < push_frozen then
+        if seq < push_frozen then begin
           (* Eliminated: take the value deposited by the push that shares
-             our sequence number. *)
-          Some (node_of batch seq).value
+             our sequence number. We are that node's only reader, so with
+             recycling on it goes straight back to a magazine. *)
+          let n = node_of batch seq in
+          let v = n.value in
+          if t.recycle then Mag.recycle t.mag ~tid n;
+          Some v
+        end
         else begin
           if seq = push_frozen then begin
             pop_from_stack t batch ~seq;
             A.set batch.batch_applied true
           end
           else Backoff.spin_until (fun () -> A.get batch.batch_applied);
-          get_value batch ~offset:(seq - push_frozen)
+          let v = get_value batch ~offset:(seq - push_frozen) in
+          (if t.recycle then
+             (* Participants in the combined phase are exactly the pops
+                with sequence numbers in [push_frozen, pop_frozen) — the
+                combiner included. The last to finish reading recycles
+                the detached chain. *)
+             let total = A.get batch.pop_at_freeze - push_frozen in
+             let finished = A.fetch_and_add batch.consumed 1 + 1 in
+             if finished = total then recycle_chain t ~tid batch ~limit:total);
+          v
         end
       end
       else try_batch ()
     in
     try_batch ()
 
+  (* With recycling off, a node reachable from [top] is immutable, so one
+     read suffices. With recycling on, the node could be popped, recycled
+     and re-initialised between our load of [top] and our read of
+     [value] — so revalidate that [top] still holds the same option cell
+     afterwards. Every push publishes a fresh [Some] box, so physical
+     equality proves the stack did not move under us (and a node still at
+     the top cannot have been recycled: recycling happens only after the
+     node is unlinked). *)
   let peek t ~tid:_ =
-    match A.get t.top with None -> None | Some n -> Some n.value
+    let rec attempt () =
+      match A.get t.top with
+      | None -> None
+      | Some n as cur ->
+          let v = n.value in
+          if (not t.recycle) || A.get t.top == cur then Some v
+          else begin
+            P.relax 1;
+            attempt ()
+          end
+    in
+    attempt ()
 
   (* ------------------------------------------------------------------ *)
   (* Introspection                                                       *)
@@ -350,6 +500,8 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
         }
 
   let config t = t.config
+  let magazine_stats t = Mag.stats t.mag
+  let magazine_hit_rate t = Mag.hit_rate t.mag
 
   (* Current depth of the shared stack; O(n), single snapshot of [top],
      for tests and examples only. *)

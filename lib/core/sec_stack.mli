@@ -21,6 +21,20 @@ module Make (_ : Sec_prim.Prim_intf.S) : sig
 
   val config : 'a t -> Config.t
 
+  (** Aggregators announcements currently route to: the configured K
+      under static sharding, the contention controller's current choice
+      (between 1 and K) when the stack was created with
+      [Config.adaptive]. *)
+  val active_aggregators : 'a t -> int
+
+  (** Node-magazine tallies for this stack (all zero unless created with
+      [Config.recycle_nodes]). See {!Sec_reclaim.Magazine.Make.stats}. *)
+  val magazine_stats : 'a t -> Sec_reclaim.Magazine.stats
+
+  (** Fraction of node requests served without allocating; [0.] before
+      any operation ran. *)
+  val magazine_hit_rate : 'a t -> float
+
   (** Number of nodes currently in the shared stack. O(n); takes a single
       snapshot of the top pointer — meant for tests and examples. *)
   val depth : 'a t -> int

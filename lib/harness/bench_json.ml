@@ -1,0 +1,447 @@
+(* Machine-readable benchmark baseline: one pinned configuration per
+   backend, emitted as BENCH_<backend>.json and diffed against a
+   checked-in copy by `dune build @bench-smoke` (and CI). Where the
+   smoke CSV pins two algorithms' exact operation counts, this file
+   covers every structure in the comparison and adds the allocation
+   dimension this PR is about: simulated allocations per run (the
+   substrate's [note_alloc] tally) and the magazine hit rate for the
+   recycling variants.
+
+   The sim rows are deterministic per seed, so regressions are exact:
+   a row's throughput falling more than the threshold below the
+   checked-in baseline fails the build. Native rows exist for human
+   eyes (`--backend native`); they are never compared automatically.
+
+   No JSON library ships in this environment, so the writer and the
+   tiny recursive-descent reader below are hand-rolled; the reader
+   accepts just the subset the writer produces (objects, arrays,
+   strings, numbers, booleans, null). *)
+
+type row = {
+  algorithm : string;
+  threads : int;
+  ops : int;
+  allocs : int;  (** sim: [Sim.stats.allocs]; native: minor-heap bytes *)
+  throughput : float;  (** ops per virtual cycle (sim) or per second *)
+  mag_hits : int;
+  mag_misses : int;
+  mag_recycled : int;
+  mag_hit_rate : float;
+}
+
+type doc = {
+  backend : string; (* "sim" | "native" *)
+  machine : string;
+  unit_label : string; (* "ops/cycle" | "ops/s" *)
+  seed : int;
+  duration : float; (* virtual cycles (sim) or seconds (native) *)
+  rows : row list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Collection                                                          *)
+
+(* The recycling and adaptive SEC variants ride along in the baseline so
+   the zero-allocation claim is itself regression-checked. *)
+let bench_entries =
+  Registry.paper_set @ Registry.reclaimed_set
+  @ [ Registry.sec_recycling; Registry.sec_adaptive ]
+
+let bench_threads = [ 1; 2; 4 ]
+
+(* A long window over a small prefill: [Sim.stats.allocs] counts the
+   whole run, so the steady state must dominate the single-threaded
+   prefill for the allocs column (and the magazine hit rate) to reflect
+   the hot path rather than the warm-up. *)
+let bench_cycles = 200_000
+let bench_prefill = 64
+
+let sim_row entry ~topology ~threads ~duration_cycles ~mix ~seed =
+  let module R = Runner.Make (Sec_sim.Sim.Prim) in
+  Sec_reclaim.Magazine.Global.reset ();
+  let (name, outcome), stats =
+    Sec_sim.Sim.run ~seed ~jitter:2 ~topology (fun () ->
+        R.run_maker entry.Registry.maker ~op_overhead:10 ~threads
+          ~stop:(R.Timed duration_cycles) ~mix ~prefill:bench_prefill ())
+  in
+  let mag = Sec_reclaim.Magazine.Global.snapshot () in
+  let ops = R.total outcome in
+  {
+    algorithm = name;
+    threads;
+    ops;
+    allocs = stats.Sec_sim.Sim.allocs;
+    throughput = float_of_int ops /. float_of_int duration_cycles;
+    mag_hits = mag.Sec_reclaim.Magazine.Global.hits;
+    mag_misses = mag.Sec_reclaim.Magazine.Global.misses;
+    mag_recycled = mag.Sec_reclaim.Magazine.Global.recycled;
+    mag_hit_rate = Sec_reclaim.Magazine.Global.hit_rate mag;
+  }
+
+let native_row entry ~threads ~duration ~mix ~seed =
+  Sec_reclaim.Magazine.Global.reset ();
+  let before = Gc.allocated_bytes () in
+  let m =
+    Native_runner.run entry.Registry.maker ~threads ~duration ~mix
+      ~prefill:bench_prefill ~seed ()
+  in
+  let allocated = Gc.allocated_bytes () -. before in
+  let mag = Sec_reclaim.Magazine.Global.snapshot () in
+  {
+    algorithm = m.Measurement.algorithm;
+    threads;
+    ops = m.Measurement.ops;
+    allocs = int_of_float allocated;
+    throughput = float_of_int m.Measurement.ops /. m.Measurement.elapsed;
+    mag_hits = mag.Sec_reclaim.Magazine.Global.hits;
+    mag_misses = mag.Sec_reclaim.Magazine.Global.misses;
+    mag_recycled = mag.Sec_reclaim.Magazine.Global.recycled;
+    mag_hit_rate = Sec_reclaim.Magazine.Global.hit_rate mag;
+  }
+
+let collect_sim ?(seed = 1) () =
+  let topology = Sec_sim.Topology.testbox in
+  let mix = Workload.by_name "100%upd" in
+  let rows =
+    List.concat_map
+      (fun entry ->
+        List.map
+          (fun threads ->
+            sim_row entry ~topology ~threads ~duration_cycles:bench_cycles
+              ~mix ~seed)
+          bench_threads)
+      bench_entries
+  in
+  {
+    backend = "sim";
+    machine = topology.Sec_sim.Topology.name;
+    unit_label = "ops/cycle";
+    seed;
+    duration = float_of_int bench_cycles;
+    rows;
+  }
+
+let collect_native ?(seed = 1) ?(duration = 0.05) () =
+  let mix = Workload.by_name "100%upd" in
+  let rows =
+    List.concat_map
+      (fun entry ->
+        List.map
+          (fun threads -> native_row entry ~threads ~duration ~mix ~seed)
+          bench_threads)
+      bench_entries
+  in
+  {
+    backend = "native";
+    machine = "host";
+    unit_label = "ops/s";
+    seed;
+    duration;
+    rows;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Writer                                                              *)
+
+let escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* Fixed decimal formatting keeps the checked-in file reproducible
+   byte-for-byte across runs of the deterministic sim configuration. *)
+let fl x = Printf.sprintf "%.8f" x
+
+let to_string doc =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"backend\": \"%s\",\n" (escape doc.backend));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"machine\": \"%s\",\n" (escape doc.machine));
+  Buffer.add_string buf
+    (Printf.sprintf "  \"unit\": \"%s\",\n" (escape doc.unit_label));
+  Buffer.add_string buf (Printf.sprintf "  \"seed\": %d,\n" doc.seed);
+  Buffer.add_string buf
+    (Printf.sprintf "  \"duration\": %s,\n" (fl doc.duration));
+  Buffer.add_string buf "  \"rows\": [";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "\n    {\"algorithm\": \"%s\", \"threads\": %d, \"ops\": %d, \
+            \"allocs\": %d, \"throughput\": %s, \"mag_hits\": %d, \
+            \"mag_misses\": %d, \"mag_recycled\": %d, \"mag_hit_rate\": %s}"
+           (escape r.algorithm) r.threads r.ops r.allocs (fl r.throughput)
+           r.mag_hits r.mag_misses r.mag_recycled (fl r.mag_hit_rate)))
+    doc.rows;
+  Buffer.add_string buf "\n  ]\n}\n";
+  Buffer.contents buf
+
+let write ~path doc =
+  let oc = open_out_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_string doc))
+
+(* ------------------------------------------------------------------ *)
+(* Reader (the writer's subset of JSON)                                *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of json list
+  | Obj of (string * json) list
+
+exception Parse_error of string
+
+let parse (s : string) : json =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (Printf.sprintf "%s at byte %d" msg !pos)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= n && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let string_token () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' ->
+              Buffer.add_char buf '"';
+              advance ();
+              loop ()
+          | Some '\\' ->
+              Buffer.add_char buf '\\';
+              advance ();
+              loop ()
+          | Some 'n' ->
+              Buffer.add_char buf '\n';
+              advance ();
+              loop ()
+          | Some 't' ->
+              Buffer.add_char buf '\t';
+              advance ();
+              loop ()
+          | Some 'u' ->
+              (* Only ASCII escapes are ever written; decode low code
+                 points, reject the rest. *)
+              advance ();
+              if !pos + 4 > n then fail "bad \\u escape";
+              let code = int_of_string ("0x" ^ String.sub s !pos 4) in
+              if code > 0x7f then fail "non-ASCII \\u escape";
+              Buffer.add_char buf (Char.chr code);
+              pos := !pos + 4;
+              loop ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          loop ()
+    in
+    loop ();
+    Buffer.contents buf
+  in
+  let number_token () =
+    let start = !pos in
+    let is_num_char c =
+      match c with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    if !pos = start then fail "expected number";
+    match float_of_string_opt (String.sub s start (!pos - start)) with
+    | Some f -> f
+    | None -> fail "malformed number"
+  in
+  let rec value () =
+    skip_ws ();
+    match peek () with
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Obj []
+        end
+        else begin
+          let rec members acc =
+            skip_ws ();
+            let key = string_token () in
+            skip_ws ();
+            expect ':';
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                members ((key, v) :: acc)
+            | Some '}' ->
+                advance ();
+                Obj (List.rev ((key, v) :: acc))
+            | _ -> fail "expected ',' or '}'"
+          in
+          members []
+        end
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          Arr []
+        end
+        else begin
+          let rec elements acc =
+            let v = value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' ->
+                advance ();
+                elements (v :: acc)
+            | Some ']' ->
+                advance ();
+                Arr (List.rev (v :: acc))
+            | _ -> fail "expected ',' or ']'"
+          in
+          elements []
+        end
+    | Some '"' -> Str (string_token ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some _ -> Num (number_token ())
+    | None -> fail "unexpected end of input"
+  in
+  let v = value () in
+  skip_ws ();
+  if !pos <> n then fail "trailing garbage";
+  v
+
+let member key = function
+  | Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some v -> v
+      | None -> raise (Parse_error ("missing field " ^ key)))
+  | _ -> raise (Parse_error ("not an object looking up " ^ key))
+
+let to_float = function
+  | Num f -> f
+  | _ -> raise (Parse_error "expected number")
+
+let to_int j = int_of_float (to_float j)
+
+let to_str = function
+  | Str s -> s
+  | _ -> raise (Parse_error "expected string")
+
+let row_of_json j =
+  {
+    algorithm = to_str (member "algorithm" j);
+    threads = to_int (member "threads" j);
+    ops = to_int (member "ops" j);
+    allocs = to_int (member "allocs" j);
+    throughput = to_float (member "throughput" j);
+    mag_hits = to_int (member "mag_hits" j);
+    mag_misses = to_int (member "mag_misses" j);
+    mag_recycled = to_int (member "mag_recycled" j);
+    mag_hit_rate = to_float (member "mag_hit_rate" j);
+  }
+
+let of_string src =
+  let j = parse src in
+  {
+    backend = to_str (member "backend" j);
+    machine = to_str (member "machine" j);
+    unit_label = to_str (member "unit" j);
+    seed = to_int (member "seed" j);
+    duration = to_float (member "duration" j);
+    rows =
+      (match member "rows" j with
+      | Arr rows -> List.map row_of_json rows
+      | _ -> raise (Parse_error "rows is not an array"));
+  }
+
+let read ~path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> of_string (really_input_string ic (in_channel_length ic)))
+
+(* ------------------------------------------------------------------ *)
+(* Regression check                                                    *)
+
+type regression = {
+  r_algorithm : string;
+  r_threads : int;
+  baseline : float;
+  current : float;
+}
+
+(* Only the paper-set structures gate the build: the magazine/adaptive
+   variants and the EBR twins are newer and noisier, and the acceptance
+   bar for this layer is "no paper-set structure regresses". *)
+let gating_algorithms =
+  List.map (fun e -> e.Registry.name) Registry.paper_set
+
+let check ?(threshold = 0.10) ~baseline ~current () =
+  List.filter_map
+    (fun (b : row) ->
+      if not (List.mem b.algorithm gating_algorithms) then None
+      else
+        match
+          List.find_opt
+            (fun (c : row) ->
+              c.algorithm = b.algorithm && c.threads = b.threads)
+            current.rows
+        with
+        | None -> None (* structure dropped: the build breaks elsewhere *)
+        | Some c ->
+            if c.throughput < (1.0 -. threshold) *. b.throughput then
+              Some
+                {
+                  r_algorithm = b.algorithm;
+                  r_threads = b.threads;
+                  baseline = b.throughput;
+                  current = c.throughput;
+                }
+            else None)
+    baseline.rows

@@ -57,6 +57,26 @@ let sec_with ?(freeze_backoff = Sec_core.Config.default.freeze_backoff)
 
 let sec = sec_with ~aggregators:2 ~label:"SEC" ()
 
+let sec_configured ~label ~config =
+  let module C = struct
+    let label = label
+    let config = config
+  end in
+  { name = label; maker = (module Sec_configured (C) : MAKER); progress = Blocking }
+
+(* SEC with the zero-allocation hot path: batch-chain and elimination
+   nodes recycled through per-domain magazines (docs/PERF.md). *)
+let sec_recycling =
+  sec_configured ~label:"SEC+MAG"
+    ~config:(Sec_core.Config.with_recycling Sec_core.Config.default)
+
+(* Recycling plus the contention-adaptive sharding controller. *)
+let sec_adaptive =
+  sec_configured ~label:"SEC+ADPT"
+    ~config:
+      (Sec_core.Config.with_adaptive
+         (Sec_core.Config.with_recycling Sec_core.Config.default))
+
 let treiber =
   {
     name = "TRB";
@@ -129,8 +149,10 @@ let paper_set = [ sec; treiber; eb; fc; cc; tsi ]
 let reclaimed_set = [ treiber_ebr; tsi_ebr ]
 
 (* Extensions beyond the paper: spinlock baseline, hierarchical
-   (NUMA-aware) combining, and the EBR-reclaimed variants. *)
-let all = paper_set @ [ lock; hsynch ] @ reclaimed_set
+   (NUMA-aware) combining, the EBR-reclaimed variants, and the SEC
+   recycling/adaptive variants of this repo's perf layer. *)
+let all =
+  paper_set @ [ lock; hsynch ] @ reclaimed_set @ [ sec_recycling; sec_adaptive ]
 
 (* SEC_Agg1 .. SEC_Agg5, the self-comparison of Figure 4. *)
 let sec_aggregator_sweep =

@@ -26,6 +26,17 @@ val sec_with :
 (** SEC with the paper's default configuration (2 aggregators). *)
 val sec : entry
 
+(** SEC under an arbitrary configuration, displayed as [label]. *)
+val sec_configured : label:string -> config:Sec_core.Config.t -> entry
+
+(** SEC with node recycling through per-domain magazines ("SEC+MAG");
+    see docs/PERF.md. *)
+val sec_recycling : entry
+
+(** [sec_recycling] plus the contention-adaptive sharding controller
+    ("SEC+ADPT"). *)
+val sec_adaptive : entry
+
 val treiber : entry
 val eb : entry
 val fc : entry

@@ -35,6 +35,10 @@ let seed_rng seed = Rng.create seed |> Domain.DLS.set rng_key
 let rand_int bound = Rng.int (Domain.DLS.get rng_key) bound
 let rand_bits () = Rng.bits (Domain.DLS.get rng_key)
 
+(* Native allocation is measured by the GC itself (Gc.minor_words); the
+   hook only exists so the simulator can count the same sites. *)
+let note_alloc () = ()
+
 (* ------------------------------------------------------------------ *)
 (* Execution (Prim_intf.EXEC): a deferred domain pool.
 

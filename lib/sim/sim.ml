@@ -42,64 +42,98 @@ exception Stalled
 (* scheduling is deterministic.                                          *)
 
 module Heap = struct
-  type 'a entry = { time : int; fid : int; payload : 'a }
-  type 'a t = { mutable data : 'a entry array; mutable size : int }
+  (* The (time, fid) key packed into one unboxed int —
+     [time * 2^fid_bits + (fid + fid_bias)] — beside a same-index
+     payload array. A push happens at every scheduling event, and the
+     seed's boxed {time; fid; payload} entries cost a minor-heap
+     allocation per push plus a pointer chase per comparison; packed
+     keys allocate nothing, order with a single integer test (the
+     packing is order-isomorphic to the lexicographic pair), and sifts
+     move a hole instead of swapping, one key/payload move per level.
+     Exact while [0 <= fid + fid_bias < 2^fid_bits] and
+     [time < 2^(62 - fid_bits)] — two million fibers and ~10^12 virtual
+     cycles, both far past any simulated run; [pack] rejects anything
+     outside. *)
+  let fid_bits = 21
+  let fid_bias = 2 (* the main pseudo-fiber runs as fid -2 *)
 
-  let create () = { data = [||]; size = 0 }
+  let pack time fid =
+    let f = fid + fid_bias in
+    if f lsr fid_bits <> 0 || time lsr (62 - fid_bits) <> 0 then
+      invalid_arg "Sim.Heap: time or fiber id exceeds the packing range";
+    (time lsl fid_bits) lor f
 
-  let less a b = a.time < b.time || (a.time = b.time && a.fid < b.fid)
+  type 'a t = {
+    mutable keys : int array;
+    mutable data : 'a array;
+    mutable size : int;
+  }
+
+  let create () = { keys = [||]; data = [||]; size = 0 }
 
   let push t time fid payload =
-    let e = { time; fid; payload } in
     if t.size = Array.length t.data then begin
-      let bigger = Array.make (max 16 (2 * t.size)) e in
-      Array.blit t.data 0 bigger 0 t.size;
-      t.data <- bigger
+      let cap = max 16 (2 * t.size) in
+      let keys = Array.make cap 0 in
+      let data = Array.make cap payload in
+      Array.blit t.keys 0 keys 0 t.size;
+      Array.blit t.data 0 data 0 t.size;
+      t.keys <- keys;
+      t.data <- data
     end;
-    t.data.(t.size) <- e;
+    let key = pack time fid in
+    (* sift the new hole up, then write once *)
+    let i = ref t.size in
     t.size <- t.size + 1;
-    (* sift up *)
-    let i = ref (t.size - 1) in
-    while
-      !i > 0
-      &&
+    let sifting = ref true in
+    while !sifting && !i > 0 do
       let parent = (!i - 1) / 2 in
-      less t.data.(!i) t.data.(parent)
-    do
-      let parent = (!i - 1) / 2 in
-      let tmp = t.data.(parent) in
-      t.data.(parent) <- t.data.(!i);
-      t.data.(!i) <- tmp;
-      i := parent
-    done
+      if key < t.keys.(parent) then begin
+        t.keys.(!i) <- t.keys.(parent);
+        t.data.(!i) <- t.data.(parent);
+        i := parent
+      end
+      else sifting := false
+    done;
+    t.keys.(!i) <- key;
+    t.data.(!i) <- payload
 
-  let min_key t = if t.size = 0 then None else Some (t.data.(0).time, t.data.(0).fid)
+  (* The packed key of the earliest entry. *)
+  let min_key t = if t.size = 0 then None else Some t.keys.(0)
 
   let pop t =
     if t.size = 0 then None
     else begin
       let top = t.data.(0) in
       t.size <- t.size - 1;
-      if t.size > 0 then begin
-        t.data.(0) <- t.data.(t.size);
-        (* sift down *)
+      let n = t.size in
+      if n > 0 then begin
+        (* sift a root hole down past smaller children, then drop the
+           detached last entry in; this also overwrites the popped
+           payload's slot, so the heap does not pin a dead
+           continuation. *)
+        let key = t.keys.(n) in
+        let last = t.data.(n) in
         let i = ref 0 in
-        let continue_sift = ref true in
-        while !continue_sift do
-          let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
-          let smallest = ref !i in
-          if l < t.size && less t.data.(l) t.data.(!smallest) then smallest := l;
-          if r < t.size && less t.data.(r) t.data.(!smallest) then smallest := r;
-          if !smallest = !i then continue_sift := false
+        let sifting = ref true in
+        while !sifting do
+          let l = (2 * !i) + 1 in
+          if l >= n then sifting := false
           else begin
-            let tmp = t.data.(!smallest) in
-            t.data.(!smallest) <- t.data.(!i);
-            t.data.(!i) <- tmp;
-            i := !smallest
+            let r = l + 1 in
+            let c = if r < n && t.keys.(r) < t.keys.(l) then r else l in
+            if t.keys.(c) < key then begin
+              t.keys.(!i) <- t.keys.(c);
+              t.data.(!i) <- t.data.(c);
+              i := c
+            end
+            else sifting := false
           end
-        done
+        done;
+        t.keys.(!i) <- key;
+        t.data.(!i) <- last
       end;
-      Some top.payload
+      Some top
     end
 end
 
@@ -121,6 +155,7 @@ type ctx = {
   mutable joiner : (fiber * (unit, unit) Effect.Deep.continuation) option;
   mutable max_end_time : int;
   mutable events : int;
+  alloc_base : int; (* {!Sim_effects.alloc_tally} at run start *)
   (* Suspension adversary: freeze fiber [fid] just before its [n]th
      atomic access (see {!Explore.classify} for the bounded-sweep
      version; here a single point suffices for regression pinning). *)
@@ -134,9 +169,10 @@ type stats = {
   events : int;  (** scheduling events (atomic accesses etc.) *)
   traffic : Cache_model.traffic;
   fibers : int;
+  allocs : int;  (** fresh hot-path allocations ([P.note_alloc] calls) *)
 }
 
-let key_of fiber = (fiber.time, fiber.fid)
+let key_of fiber = Heap.pack fiber.time fiber.fid
 
 let rec schedule ctx =
   match Heap.pop ctx.heap with
@@ -306,6 +342,7 @@ let run ?(seed = 42) ?(jitter = 0) ?detector ?reclaim_checker ?progress
       joiner = None;
       max_end_time = 0;
       events = 0;
+      alloc_base = !Sim_effects.alloc_tally;
       suspend;
       suspend_seen = 0;
       max_events;
@@ -345,6 +382,7 @@ let run ?(seed = 42) ?(jitter = 0) ?detector ?reclaim_checker ?progress
           events = ctx.events;
           traffic = Cache_model.traffic ctx.cache;
           fibers = ctx.next_core;
+          allocs = !Sim_effects.alloc_tally - ctx.alloc_base;
         } )
 
 let spawn body = Effect.perform (Spawn body)

@@ -20,6 +20,11 @@ type stats = {
   events : int;  (** scheduling events (atomic accesses etc.) *)
   traffic : Cache_model.traffic;
   fibers : int;  (** workers spawned *)
+  allocs : int;
+      (** fresh hot-path node allocations, as reported by
+          [P.note_alloc] in instrumented algorithm code. Counted without
+          a scheduling event, so instrumentation never perturbs the
+          schedule; magazine-recycled nodes do not count. *)
 }
 
 (** [run ~topology f] executes [f] as the main fiber of a fresh simulated

@@ -23,6 +23,15 @@ type _ Effect.t +=
   | Fiber_id : int Effect.t
   | Num_workers : int Effect.t
 
+(* Fresh hot-path allocations ([Prim.note_alloc] calls). A plain counter
+   rather than an effect: simulations execute one at a time on a single
+   host thread, so {!Sim.run} brackets a run with before/after reads and
+   reports the delta — same determinism, no per-allocation
+   perform/resume round-trip, and (like an accounting-only effect) no
+   scheduling point, so instrumenting an allocation site never perturbs
+   schedules. *)
+let alloc_tally = ref 0
+
 module Detect = struct
   type event = Make | Read | Write | Rmw | Cas of bool
 
@@ -131,6 +140,7 @@ module Prim : Sec_prim.Prim_intf.EXEC with type budget = int = struct
   let now_ns () = Effect.perform Now
   let rand_int n = Effect.perform (Rand_int n)
   let rand_bits () = Effect.perform Rand_bits
+  let note_alloc () = incr alloc_tally
 
   (* Execution capability ({!Sec_prim.Prim_intf.EXEC}): budgets are virtual
      cycles, and a deadline is just a target virtual time — the scheduler

@@ -27,6 +27,8 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
     Ccsynch.create ~max_threads ~apply ()
 
   let push t ~tid v =
+    (* The combiner conses onto the sequential stack on our behalf. *)
+    P.note_alloc ();
     match Ccsynch.apply t ~tid (Push v) with
     | Pushed -> ()
     | Took _ -> assert false

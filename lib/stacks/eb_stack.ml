@@ -52,6 +52,7 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
 
   let try_push t value =
     let cur = A.get t.top in
+    P.note_alloc ();
     A.compare_and_set t.top cur (Cons { value; next = cur })
 
   let visit t tid offer =

@@ -28,6 +28,8 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
     Fc.create ~max_threads ~apply ()
 
   let push t ~tid v =
+    (* The combiner conses onto the sequential stack on our behalf. *)
+    P.note_alloc ();
     match Fc.apply t ~tid (Push v) with Pushed -> () | Took _ -> assert false
 
   let pop t ~tid =

@@ -44,6 +44,7 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
 
   let push t ~tid:_ value =
     acquire t;
+    P.note_alloc ();
     Sec_spec.Seq_stack.push t.items value;
     release t
 

@@ -26,6 +26,7 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
     let backoff = Backoff.create () in
     let rec attempt () =
       let cur = A.get t.top in
+      P.note_alloc ();
       if not (A.compare_and_set t.top cur (Cons { value; next = cur })) then begin
         Backoff.once backoff;
         attempt ()

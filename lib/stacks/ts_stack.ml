@@ -64,6 +64,7 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
 
   let push t ~tid value =
     trim_head t tid;
+    P.note_alloc ();
     let node =
       {
         value;

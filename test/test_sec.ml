@@ -256,7 +256,12 @@ let test_capacity_overflow () =
   let module SP = Sec_sim.Sim.Prim in
   let module SimSec = Sec_core.Sec_stack.Make (SP) in
   let config =
-    { Config.num_aggregators = 1; freeze_backoff = 50_000; collect_stats = true }
+    {
+      Config.default with
+      Config.num_aggregators = 1;
+      freeze_backoff = 50_000;
+      collect_stats = true;
+    }
   in
   let (popped, excluded), _ =
     Sec_sim.Sim.run ~seed:7 ~topology:Sec_sim.Topology.testbox (fun () ->
