@@ -3,6 +3,7 @@
      sec_bench list                   show experiment ids
      sec_bench run fig2 [options]     regenerate one figure/table
      sec_bench all [options]          regenerate everything
+     sec_bench check [options]        refinement-property sweep
 
    Options: --scale (duration multiplier), --csv DIR, --backend
    sim|native|both (which execution substrate to sweep; --native is a
@@ -231,6 +232,197 @@ let bench_cmd =
       const run $ seed_arg $ backend_arg $ emit_arg $ against_arg
       $ threshold_arg)
 
+(* Refinement sweep: every registry entry (plus the pool relaxation, plus
+   — under --mutants — the seeded fault-injection builds) is run through
+   its default refinement properties (docs/ANALYSIS.md, "Refinement
+   prong") under DPOR and the pinned weighted-random seeds. Bounded for
+   CI by --budget-ms; shrunk counterexamples are written one file per
+   violation under --witness-dir so the workflow can upload them. *)
+let check_cmd =
+  let module R = Sec_harness.Registry in
+  let module Refine = Sec_refine.Refine in
+  let seeds_arg =
+    let doc =
+      "Number of pinned weighted-random seeds to sweep (max 3, the \
+       pinned set; the DPOR pass always runs)."
+    in
+    Arg.(value & opt int 3 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let budget_arg =
+    let doc =
+      "Wall-clock budget in milliseconds; entries not reached in time \
+       are reported as skipped (exit stays 0 for skips)."
+    in
+    Arg.(value & opt (some int) None & info [ "budget-ms" ] ~docv:"MS" ~doc)
+  in
+  let mutants_arg =
+    let doc =
+      "Also check the seeded mutants, expecting each to $(i,violate) its \
+       refinement property with a shrunk, replayable witness."
+    in
+    Arg.(value & flag & info [ "mutants" ] ~doc)
+  in
+  let entries_arg =
+    let doc = "Comma-separated entry names (default: the whole refine set)." in
+    Arg.(value & opt (some (list string)) None & info [ "entries" ] ~docv:"A,B" ~doc)
+  in
+  let witness_dir_arg =
+    let doc = "Directory to write shrunk counterexample witnesses into." in
+    Arg.(value & opt (some string) None & info [ "witness-dir" ] ~docv:"DIR" ~doc)
+  in
+  let schedules_arg =
+    let doc = "DPOR schedule cap per property." in
+    Arg.(value & opt int 400 & info [ "max-schedules" ] ~docv:"N" ~doc)
+  in
+  let runs_arg =
+    let doc = "Weighted-random runs per seed." in
+    Arg.(value & opt int 24 & info [ "runs" ] ~docv:"N" ~doc)
+  in
+  let write_witness dir ~slug w =
+    if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+    let path = Filename.concat dir (slug ^ ".txt") in
+    let oc = open_out path in
+    output_string oc (Refine.witness_to_string w);
+    output_char oc '\n';
+    close_out oc;
+    path
+  in
+  let sanitize s =
+    String.map
+      (fun c ->
+        match c with
+        | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' -> c
+        | _ -> '_')
+      s
+  in
+  let run seeds budget_ms mutants entries witness_dir max_schedules runs =
+    let deadline =
+      Option.map
+        (fun ms -> Unix.gettimeofday () +. (float_of_int ms /. 1000.))
+        budget_ms
+    in
+    let past_deadline () =
+      match deadline with
+      | None -> false
+      | Some d -> Unix.gettimeofday () > d
+    in
+    let seeds =
+      List.filteri (fun i _ -> i < seeds) Refine.default_seeds
+    in
+    let pool =
+      match entries with
+      | None -> R.refine_set
+      | Some names ->
+          List.map
+            (fun n ->
+              match
+                List.find_opt
+                  (fun e -> e.R.name = n)
+                  (R.refine_set @ R.mutants)
+              with
+              | Some e -> e
+              | None ->
+                  Printf.eprintf "unknown entry %S; try `sec_bench algos`\n" n;
+                  exit 1)
+            names
+    in
+    let violations = ref 0 and skipped = ref 0 and unexpected = ref 0 in
+    let emit_witness tag w =
+      Option.iter
+        (fun dir ->
+          let path = write_witness dir ~slug:(sanitize tag) w in
+          Printf.printf "  witness -> %s\n%!" path)
+        witness_dir
+    in
+    let check_one (e : R.entry) =
+      if past_deadline () then begin
+        incr skipped;
+        Printf.printf "%-10s SKIP (budget)\n%!" e.R.name
+      end
+      else
+        List.iter
+          (fun (prop, strat, verdict) ->
+            let tag = Printf.sprintf "%s/%s/%s" e.R.name prop strat in
+            match verdict with
+            | Refine.Refines { schedules; truncated } ->
+                Printf.printf "%-40s ok (%d schedules%s)\n%!" tag schedules
+                  (if truncated then ", truncated" else "")
+            | Refine.Inconclusive why ->
+                incr skipped;
+                Printf.printf "%-40s INCONCLUSIVE: %s\n%!" tag why
+            | Refine.Violates w ->
+                incr violations;
+                Printf.printf "%-40s VIOLATION: %s\n%!" tag w.Refine.w_kind;
+                emit_witness tag w)
+          (Refine.check_entry ~max_schedules ~runs ~seeds e)
+    in
+    (* A mutant is checked against its fault-revealing property only —
+       the sweep asserts the checker catches the seeded fault under
+       DPOR and every pinned seed, with a shrunk, replayed witness. *)
+    let check_mutant (e : R.entry) =
+      if past_deadline () then begin
+        incr skipped;
+        Printf.printf "%-10s SKIP (budget)\n%!" e.R.name
+      end
+      else
+        match Refine.mutant_property e with
+        | None ->
+            incr skipped;
+            Printf.printf "%-10s SKIP (no fault property registered)\n%!"
+              e.R.name
+        | Some prop ->
+            let strategies =
+              Refine.Dpor { max_preemptions = 1; max_schedules }
+              :: List.map
+                   (fun seed -> Refine.Weighted { seed; runs; stay_weight = 4 })
+                   seeds
+            in
+            List.iter
+              (fun strat ->
+                let label =
+                  match strat with
+                  | Refine.Dpor _ -> "dpor"
+                  | Refine.Weighted { seed; _ } ->
+                      Printf.sprintf "weighted:0x%Lx" seed
+                in
+                let tag =
+                  Printf.sprintf "%s/%s/%s" e.R.name prop.Refine.pname label
+                in
+                match Refine.check e strat prop with
+                | Refine.Violates w ->
+                    Printf.printf
+                      "%-40s caught: %s (%d placements, replay %b)\n%!" tag
+                      w.Refine.w_kind
+                      (List.length w.Refine.w_schedule)
+                      w.Refine.w_replayed;
+                    emit_witness tag w
+                | Refine.Refines _ ->
+                    incr unexpected;
+                    Printf.printf "%-40s UNEXPECTED PASS (mutant refines)\n%!"
+                      tag
+                | Refine.Inconclusive why ->
+                    incr unexpected;
+                    Printf.printf "%-40s INCONCLUSIVE: %s\n%!" tag why)
+              strategies
+    in
+    List.iter check_one pool;
+    if mutants then List.iter check_mutant R.mutants;
+    Printf.printf
+      "refinement sweep: %d violations, %d unexpected mutant passes, %d \
+       skipped/inconclusive\n"
+      !violations !unexpected !skipped;
+    if !violations > 0 || !unexpected > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Check every registry entry's refinement properties (DPOR + \
+          pinned weighted-random seeds), shrinking and writing \
+          counterexamples")
+    Term.(
+      const run $ seeds_arg $ budget_arg $ mutants_arg $ entries_arg
+      $ witness_dir_arg $ schedules_arg $ runs_arg)
+
 let algos_cmd =
   let run () =
     List.iter
@@ -252,4 +444,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; all_cmd; sweep_cmd; bench_cmd; algos_cmd ]))
+          [ list_cmd; run_cmd; all_cmd; sweep_cmd; bench_cmd; check_cmd;
+            algos_cmd ]))

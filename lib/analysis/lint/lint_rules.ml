@@ -1,5 +1,5 @@
 (* Static enforcement of the repo's shared-memory discipline, over the
-   compiler-libs parsetree. Five rule classes (see docs/ANALYSIS.md):
+   compiler-libs parsetree. Nine rule classes (see docs/ANALYSIS.md):
 
    1. [mutable-field] — algorithm modules (lib/stacks, lib/core,
       lib/reclaim, lib/funnel) may not declare [mutable] record fields
@@ -57,6 +57,16 @@
       [Mag.alloc], with the literal only as the miss fallback, annotated
       [@fresh_ok "why a fresh node is acceptable here"]. Like the other
       intent annotations, [@fresh_ok] covers its whole subtree.
+
+   9. [spec-class] — a module that implements the stack interface
+      (binds both [push] and [pop]) must declare which sequential spec
+      its histories refine with a floating attribute:
+      [[@@@spec "stack"]] (strict LIFO, checked by
+      {!Sec_spec.Lin_check}) or [[@@@spec "pool"]] (the order-relaxed
+      bag semantics). The declaration mirrors the registry entry's
+      [spec] field ({!Sec_harness.Registry.semantics}) and selects the
+      default refinement properties {!Sec_refine.Refine} verifies
+      dynamically.
 
    The checker is syntactic by design: it recognises the repo idiom
    ([module A = P.Atomic], [A.make] / [Atomic.make], [module Ebr =
@@ -356,12 +366,13 @@ let check_structure ~file ~scope structure =
     else Hashtbl.create 0
   in
 
-  (* Rule 7 pre-pass: [@@@progress] declarations and push/pop bindings
-     anywhere in the structure (including submodules — a file is one
-     progress unit, matching how the registry declares one class per
-     algorithm). The missing-declaration diagnostic anchors at the later
-     of the two bindings. *)
+  (* Rules 7 and 9 pre-pass: [@@@progress] / [@@@spec] declarations and
+     push/pop bindings anywhere in the structure (including submodules —
+     a file is one progress/spec unit, matching how the registry
+     declares one class per algorithm). The missing-declaration
+     diagnostics anchor at the later of the two bindings. *)
   let progress_decls = ref [] (* (payload, loc), reversed *) in
+  let spec_decls = ref [] (* (payload, loc), reversed *) in
   let push_loc = ref None and pop_loc = ref None in
   (if scope.check_discipline then
      let note_binding (vb : value_binding) =
@@ -380,6 +391,10 @@ let check_structure ~file ~scope structure =
                when attr.attr_name.Location.txt = "progress" ->
                  progress_decls :=
                    (string_payload attr, attr.attr_loc) :: !progress_decls
+             | Pstr_attribute attr when attr.attr_name.Location.txt = "spec"
+               ->
+                 spec_decls :=
+                   (string_payload attr, attr.attr_loc) :: !spec_decls
              | Pstr_value (_, vbs) -> List.iter note_binding vbs
              | _ -> ());
              Ast_iterator.default_iterator.structure_item it si);
@@ -387,6 +402,7 @@ let check_structure ~file ~scope structure =
      in
      it.structure it structure);
   let progress_decls = List.rev !progress_decls in
+  let spec_decls = List.rev !spec_decls in
   let declared_lock_free =
     List.exists (fun (p, _) -> p = Some "lock_free") progress_decls
   in
@@ -511,6 +527,38 @@ let check_structure ~file ~scope structure =
             \"lock_free\"] or [@@@progress \"blocking\"]; the declared \
             class is checked mechanically by the suspension classifier \
             (docs/ANALYSIS.md, \"Progress prong\")"
+     | _ -> ()
+   end);
+  (* Rule 9: the spec-class declaration obligations. *)
+  (if scope.check_discipline then begin
+     List.iter
+       (fun (payload, loc) ->
+         match payload with
+         | Some "stack" | Some "pool" -> ()
+         | Some other ->
+             add loc "spec-class"
+               (Printf.sprintf
+                  "invalid spec class %S: declare [@@@spec \"stack\"] \
+                   (strict LIFO, checked by Lin_check) or [@@@spec \
+                   \"pool\"] (order-relaxed bag)"
+                  other)
+         | None ->
+             add loc "spec-class"
+               "[@@@spec] needs a class string: declare [@@@spec \
+                \"stack\"] or [@@@spec \"pool\"]")
+       spec_decls;
+     match (!push_loc, !pop_loc) with
+     | Some ploc, Some qloc when spec_decls = [] ->
+         let anchor =
+           if fst (pos_of qloc) >= fst (pos_of ploc) then qloc else ploc
+         in
+         add anchor "spec-class"
+           "module implements the stack interface (binds both push and \
+            pop) but declares no sequential spec: add [@@@spec \
+            \"stack\"] or [@@@spec \"pool\"]; the declared spec selects \
+            the refinement property the checker verifies (docs/ANALYSIS.md, \
+            \"Refinement prong\") and must match the registry entry's \
+            [spec] field"
      | _ -> ()
    end);
   (* Rule 8: node literals outside the magazine-miss fallback. *)

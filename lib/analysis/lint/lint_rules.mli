@@ -1,6 +1,6 @@
 (** Static lint for the repo's shared-memory discipline.
 
-    Seven rule classes, reported as [file:line:col] diagnostics:
+    Nine rule classes, reported as [file:line:col] diagnostics:
     - [mutable-field]: no [mutable] record field in algorithm modules
       without [@plain_ok "publication argument"];
     - [unpadded-atomic]: atomics stored in long-lived shared blocks
@@ -20,7 +20,16 @@
       declare [[@@@progress "lock_free"]] or [[@@@progress "blocking"]],
       and a lock_free module must not wait unboundedly on another
       thread's write ([spin_until]/[spin_while] outside an [@await_ok]
-      extent).
+      extent);
+    - [fresh-node]: in modules recycling nodes through
+      {!Sec_reclaim.Magazine}, node record literals must be the
+      magazine-miss fallback ([Mag.alloc] first), annotated
+      [@fresh_ok "reason"];
+    - [spec-class]: the same modules must declare the sequential spec
+      their histories refine — [[@@@spec "stack"]] (strict LIFO) or
+      [[@@@spec "pool"]] (order-relaxed bag) — matching the registry
+      entry's [spec] field, which selects the refinement properties
+      checked dynamically by {!Sec_refine.Refine}.
 
     The three intent annotations ([@unguarded_ok], [@retire_ok],
     [@await_ok]) share one subtree-covering discipline: each needs a

@@ -1,0 +1,146 @@
+(** Refinement-property checking: the fourth analysis prong
+    (docs/ANALYSIS.md, "Refinement prong").
+
+    A {!property} states, in a small DSL, that the concurrent histories
+    of a registry entry refine a sequential specification — strict LIFO
+    linearizability ({!Sec_harness.Registry.Stack_sem}, decided by
+    {!Sec_spec.Lin_check}) or the order-relaxed bag semantics of the SEC
+    pool ({!Sec_harness.Registry.Pool_sem}) — under every schedule a
+    {!strategy} explores and under adversarial {!adversary} combinators
+    (operation cancellation, crash mid-operation).
+
+    Properties compile down to {!Sec_sim.Explore} scenarios: the
+    workload's fibers run the structure through a
+    {!Sec_spec.History.Instrument} recorder, the final check drains the
+    survivors and asks the spec checker. A failing schedule is
+    delta-debugged ({!Sec_sim.Explore.shrink_schedule}), the workload is
+    greedily pruned, and the result is replayed before being reported as
+    a {!witness} — a handful of placements, not a 500-event trace. *)
+
+(** {1 The DSL} *)
+
+(** One operation of a fiber's program (values are [int]s; use distinct
+    values across the workload so the bag checker's accounting is
+    exact). *)
+type op = Push of int | Pop | Peek
+
+type workload = {
+  prefill : int list;  (** initial stack contents, top first (unrecorded) *)
+  threads : op list list;  (** one program per fiber *)
+  max_threads : int option;
+      (** capacity passed to [create]; defaults to the fiber count. Set
+          it *below* the fiber count to drive over-subscription paths. *)
+}
+
+type adversary =
+  | No_adversary
+  | Cancel of { victim : int; keep_ops : int }
+      (** fiber [victim] abandons its program after [keep_ops] completed
+          operations — a timeout/cancel that never issues the rest. The
+          truncated workload must still refine the spec under the full
+          schedule exploration of the property's strategy. *)
+  | Crash_sweep of { max_points : int }
+      (** every fiber in turn is crash-frozen just before each of its
+          first [max_points] atomic accesses (fair baseline, as
+          {!Sec_sim.Explore.classify}); peers must still refine the
+          *bag* relaxation with the victim's in-flight pushes optional
+          (a crashed pop may legitimately consume a value it never
+          reported). [Blocked]/stalled-drain outcomes are allowed iff
+          the entry is declared [Blocking]. *)
+
+type strategy =
+  | Dpor of { max_preemptions : int; max_schedules : int }
+      (** bounded-preemption DFS with DPOR pruning
+          ({!Sec_sim.Explore.for_all} [~strategy:`Dpor]) *)
+  | Weighted of { seed : int64; runs : int; stay_weight : int }
+      (** seeded weighted-random runs ({!Sec_sim.Explore.for_random}) *)
+
+type property = {
+  pname : string;
+  refines : Sec_harness.Registry.semantics;
+      (** the spec checked: [Stack_sem] via {!Sec_spec.Lin_check},
+          [Pool_sem] via the bag checker *)
+  workload : workload;
+  adversary : adversary;
+}
+
+(** {1 Verdicts and witnesses} *)
+
+type witness = {
+  w_structure : string;
+  w_property : string;
+  w_strategy : string;  (** ["dpor"], ["weighted:0x<seed>"], ["crash:v<i>@<n>"] *)
+  w_kind : string;
+      (** violation category, stable across replay: ["check-failed"],
+          ["raised"], ["livelock"], ["crash-blocked"] ... *)
+  w_schedule : Sec_sim.Explore.placement list;  (** shrunk *)
+  w_original_len : int;  (** placements before shrinking *)
+  w_workload : workload;  (** possibly op-shrunk *)
+  w_replayed : bool;
+      (** the shrunk schedule was replayed once more and reproduced
+          [w_kind] *)
+}
+
+type verdict =
+  | Refines of { schedules : int; truncated : bool }
+  | Violates of witness
+  | Inconclusive of string
+      (** the spec checker gave up within its budget — never reported as
+          a pass *)
+
+val witness_to_string : witness -> string
+val verdict_to_string : verdict -> string
+
+(** {1 Compiling and checking} *)
+
+(** The {!Sec_sim.Explore} scenario a property's workload compiles to
+    (exposed for tests that drive [Explore] directly). [gave_up] is set
+    when the spec checker returns without a verdict; [adversary] here
+    only applies [Cancel] truncation and crash-aware relaxation —
+    [Crash_sweep] placement is the driver's business. *)
+val scenario_of :
+  maker:(module Sec_harness.Registry.MAKER) ->
+  refines:Sec_harness.Registry.semantics ->
+  gave_up:bool ref ->
+  ?crash_victim:int ->
+  workload ->
+  unit ->
+  (unit -> unit) list * (unit -> bool)
+
+(** [check entry strategy prop] explores the property under the strategy
+    (ignored by [Crash_sweep] properties, which sweep the fair baseline)
+    and shrinks any counterexample before reporting it. *)
+val check :
+  ?quantum:int ->
+  ?max_steps:int ->
+  Sec_harness.Registry.entry ->
+  strategy ->
+  property ->
+  verdict
+
+(** The default property suite for an entry, selected by its declared
+    [spec]: a concurrent push/pop mix, a peek interaction (stacks only),
+    a cancelled-operation variant, and a crash sweep. *)
+val default_properties : Sec_harness.Registry.entry -> property list
+
+(** The pinned seeds CI and the test suite use (≥ 3). *)
+val default_seeds : int64 list
+
+(** The fault-revealing property for a seeded mutant
+    ({!Sec_harness.Registry.mutants}), matched by registry name — the
+    mutant is expected to {!Violates} it under both DPOR and the pinned
+    seeds. [None] for entries that are not seeded mutants. *)
+val mutant_property : Sec_harness.Registry.entry -> property option
+
+(** [check_entry entry] runs every default property: the first (mix)
+    property under DPOR and under every seed, the rest under DPOR —
+    bounded budgets throughout. Returns
+    [(property name, strategy label, verdict)] rows. *)
+val check_entry :
+  ?quantum:int ->
+  ?max_steps:int ->
+  ?max_schedules:int ->
+  ?runs:int ->
+  ?seeds:int64 list ->
+  Sec_harness.Registry.entry ->
+  (string * string * verdict) list

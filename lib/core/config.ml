@@ -1,5 +1,23 @@
 (* Tuning knobs of the SEC stack (paper, Sections 3 and 6). *)
 
+(* Seeded correctness mutants, for the refinement prong's tests only
+   (docs/ANALYSIS.md, "Refinement prong"): each reintroduces a historical
+   or plausible bug behind a flag, so the property checker and its
+   counterexample shrinker have known-bad targets to catch. Never enable
+   outside tests. *)
+type mutation =
+  | No_mutation
+  | Batch_overflow
+      (** Omit the freeze-snapshot capacity clamp: when more live threads
+          than [max_threads] announce into one batch, the frozen counters
+          race past the elimination array — the exact bug the clamp in
+          [Sec_stack.freeze_batch] fixed. *)
+  | Pop_reorder
+      (** The pop-side combiner publishes the *remaining* stack instead
+          of the detached chain as the batch substack: combined pops read
+          values that are still reachable from [top], so the same value
+          is served twice (once combined, once by a later pop). *)
+
 type t = {
   num_aggregators : int;
       (** K: threads are assigned to aggregators by [tid mod K]. The paper
@@ -30,6 +48,8 @@ type t = {
           one extra fetch&add per *combined pop* (to detect when a
           detached chain's last reader is done); off by default so
           pinned-seed results are byte-identical. See docs/PERF.md. *)
+  mutation : mutation;
+      (** Seeded correctness mutant (test-only; see {!mutation}). *)
 }
 
 let default =
@@ -39,6 +59,7 @@ let default =
     collect_stats = false;
     adaptive = false;
     recycle_nodes = false;
+    mutation = No_mutation;
   }
 
 (* [capacity] is the elimination-array size (= max_threads) of the stack
@@ -65,9 +86,18 @@ let with_backoff b t = { t with freeze_backoff = b }
 let with_stats t = { t with collect_stats = true }
 let with_adaptive t = { t with adaptive = true }
 let with_recycling t = { t with recycle_nodes = true }
+let with_mutation m t = { t with mutation = m }
+
+let mutation_to_string = function
+  | No_mutation -> "none"
+  | Batch_overflow -> "batch-overflow"
+  | Pop_reorder -> "pop-reorder"
 
 let pp ppf t =
   Format.fprintf ppf
-    "{aggregators=%d; freeze_backoff=%d; stats=%b; adaptive=%b; recycle=%b}"
+    "{aggregators=%d; freeze_backoff=%d; stats=%b; adaptive=%b; recycle=%b%s}"
     t.num_aggregators t.freeze_backoff t.collect_stats t.adaptive
     t.recycle_nodes
+    (match t.mutation with
+    | No_mutation -> ""
+    | m -> "; MUTANT=" ^ mutation_to_string m)

@@ -19,6 +19,7 @@
 (* Inherits the SEC combining protocol's class: announcers wait on their
    batch's combiner, so a suspended combiner stalls its shard. *)
 [@@@progress "blocking"]
+[@@@spec "pool"]
 
 module Make (P : Sec_prim.Prim_intf.S) = struct
   module A = P.Atomic

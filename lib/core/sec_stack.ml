@@ -32,6 +32,7 @@
    on one aggregator cannot stall threads mapped to another shard — and
    test/test_progress.ml checks both facts mechanically. *)
 [@@@progress "blocking"]
+[@@@spec "stack"]
 
 module Make (P : Sec_prim.Prim_intf.S) = struct
   module A = P.Atomic
@@ -246,9 +247,15 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     (* When more live threads than [max_threads] announce into one batch,
        the counters race past [capacity]. Announcements at or past it own
        no elimination slot (the push path bails out before depositing), so
-       the snapshot must exclude them; they retry in a later batch. *)
-    let pops = min (A.get batch.pop_count) t.capacity in
-    let pushes = min (A.get batch.push_count) t.capacity in
+       the snapshot must exclude them; they retry in a later batch.
+       [Batch_overflow] is the seeded mutant reintroducing the unclamped
+       snapshot (Config.mutation — refinement-prong tests only). *)
+    let clamp c =
+      if t.config.Config.mutation = Config.Batch_overflow then c
+      else min c t.capacity
+    in
+    let pops = clamp (A.get batch.pop_count) in
+    let pushes = clamp (A.get batch.push_count) in
     A.set batch.pop_at_freeze pops;
     A.set batch.push_at_freeze pushes;
     record_batch_stats t ~tid ~pushes ~pops;
@@ -324,7 +331,12 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
       in
       let new_top = walk current_top to_remove in
       (if A.compare_and_set t.top current_top new_top then
-         A.set batch.substack current_top
+         A.set batch.substack
+           (* [Pop_reorder] is the seeded mutant publishing the remaining
+              stack instead of the detached chain (Config.mutation —
+              refinement-prong tests only). *)
+           (if t.config.Config.mutation = Config.Pop_reorder then new_top
+            else current_top)
        else attempt ())
       [@await_ok
         "a failed CAS means another combiner landed its whole batch; at \

@@ -328,6 +328,7 @@ let pool_entry ~aggregators ~label =
     Registry.name = label;
     maker = (module M : Registry.MAKER);
     progress = Registry.Blocking (* SEC combining protocol, same as sec *);
+    spec = Registry.Pool_sem;
   }
 
 let extension_pool =

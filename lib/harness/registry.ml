@@ -8,6 +8,16 @@ module type MAKER = Sec_spec.Stack_intf.MAKER
 
 type progress_class = Sec_sim.Explore.progress_class = Blocking | Lock_free
 
+(* The sequential specification an entry's concurrent histories must
+   refine (checked by the refinement prong, lib/analysis/refine):
+   [Stack_sem] is strict LIFO linearizability against [Lin_check];
+   [Pool_sem] relaxes order away — every pop returns some value pushed
+   (or prefilled) and not yet consumed, pops may report empty only
+   consistently with real time. The pool deliberately trades the former
+   for the latter. Each declaration matches the module's [@@@spec] lint
+   declaration (rule 9, spec-class). *)
+type semantics = Stack_sem | Pool_sem
+
 type entry = {
   name : string;
   maker : (module MAKER);
@@ -18,7 +28,15 @@ type entry = {
          on their freezer/combiner), even though operations that land
          alone on a shard — the sharded/elimination fast path — survive
          any single suspension (see test_progress.ml) *)
+  spec : semantics;
+      (* the sequential spec the structure refines, matching the module's
+         [@@@spec] lint declaration; drives which default properties the
+         refinement prong applies (test/test_refine.ml, sec_bench check) *)
 }
+
+let semantics_to_string = function
+  | Stack_sem -> "stack"
+  | Pool_sem -> "pool"
 
 (* SEC under a fixed configuration, with a display label. *)
 module Sec_configured (C : sig
@@ -53,6 +71,7 @@ let sec_with ?(freeze_backoff = Sec_core.Config.default.freeze_backoff)
     name = label;
     maker = (module Sec_configured (C) : MAKER);
     progress = Blocking;
+    spec = Stack_sem;
   }
 
 let sec = sec_with ~aggregators:2 ~label:"SEC" ()
@@ -62,7 +81,12 @@ let sec_configured ~label ~config =
     let label = label
     let config = config
   end in
-  { name = label; maker = (module Sec_configured (C) : MAKER); progress = Blocking }
+  {
+    name = label;
+    maker = (module Sec_configured (C) : MAKER);
+    progress = Blocking;
+    spec = Stack_sem;
+  }
 
 (* SEC with the zero-allocation hot path: batch-chain and elimination
    nodes recycled through per-domain magazines (docs/PERF.md). *)
@@ -82,6 +106,7 @@ let treiber =
     name = "TRB";
     maker = (module Sec_stacks.Treiber.Make : MAKER);
     progress = Lock_free;
+    spec = Stack_sem;
   }
 
 let eb =
@@ -89,6 +114,7 @@ let eb =
     name = "EB";
     maker = (module Sec_stacks.Eb_stack.Make : MAKER);
     progress = Lock_free;
+    spec = Stack_sem;
   }
 
 let fc =
@@ -96,6 +122,7 @@ let fc =
     name = "FC";
     maker = (module Sec_stacks.Fc_stack.Make : MAKER);
     progress = Blocking;
+    spec = Stack_sem;
   }
 
 let cc =
@@ -103,6 +130,7 @@ let cc =
     name = "CC";
     maker = (module Sec_stacks.Cc_stack.Make : MAKER);
     progress = Blocking;
+    spec = Stack_sem;
   }
 
 let tsi =
@@ -110,6 +138,7 @@ let tsi =
     name = "TSI";
     maker = (module Sec_stacks.Ts_stack.Make : MAKER);
     progress = Lock_free;
+    spec = Stack_sem;
   }
 
 let lock =
@@ -117,6 +146,7 @@ let lock =
     name = "LCK";
     maker = (module Sec_stacks.Lock_stack.Make : MAKER);
     progress = Blocking;
+    spec = Stack_sem;
   }
 
 let hsynch =
@@ -124,6 +154,7 @@ let hsynch =
     name = "HS";
     maker = (module Sec_stacks.H_stack.Make : MAKER);
     progress = Blocking;
+    spec = Stack_sem;
   }
 
 let treiber_ebr =
@@ -131,6 +162,7 @@ let treiber_ebr =
     name = "TRB-EBR";
     maker = (module Sec_reclaim.Treiber_ebr.Make : MAKER);
     progress = Lock_free;
+    spec = Stack_sem;
   }
 
 let tsi_ebr =
@@ -138,6 +170,7 @@ let tsi_ebr =
     name = "TSI-EBR";
     maker = (module Sec_reclaim.Ts_stack_ebr.Make : MAKER);
     progress = Lock_free;
+    spec = Stack_sem;
   }
 
 (* The six algorithms of the paper's comparison (Figure 2). *)
@@ -159,6 +192,52 @@ let sec_aggregator_sweep =
   List.map
     (fun k -> sec_with ~aggregators:k ~label:(Printf.sprintf "SEC_Agg%d" k) ())
     [ 1; 2; 3; 4; 5 ]
+
+(* The SEC-style pool behind the common stack interface ([peek] is always
+   [None] — pools do not expose it), declared [Pool_sem]: its histories
+   refine a bag, not a LIFO. Kept out of [all] so the stack-only
+   benchmark sets and the progress suite are unchanged; the refinement
+   prong picks it up through [refine_set]. *)
+module Sec_pool_stack (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S =
+struct
+  module Pool = Sec_core.Sec_pool.Make (P)
+
+  type 'a t = 'a Pool.t
+
+  let name = "SEC-POOL"
+  let create ?(max_threads = 64) () = Pool.create ~max_threads ()
+  let push = Pool.push
+  let pop = Pool.pop
+  let peek _ ~tid:_ = None
+end
+
+let pool =
+  {
+    name = "SEC-POOL";
+    maker = (module Sec_pool_stack : MAKER);
+    progress = Blocking;
+    spec = Pool_sem;
+  }
+
+(* Everything the refinement prong checks by default. *)
+let refine_set = all @ [ pool ]
+
+(* Seeded correctness mutants (Config.mutation): SEC with a historical or
+   plausible bug reintroduced, as known-bad targets for the refinement
+   prong's detection and shrinking tests. One aggregator, so every
+   operation funnels into the same batch and the bugs are reachable with
+   two or three fibers. Never part of [all] or [find]. *)
+let mutants =
+  [
+    sec_configured ~label:"SEC!OVF"
+      ~config:
+        Sec_core.Config.(
+          with_mutation Batch_overflow (with_aggregators 1 default));
+    sec_configured ~label:"SEC!POP"
+      ~config:
+        Sec_core.Config.(
+          with_mutation Pop_reorder (with_aggregators 1 default));
+  ]
 
 let find name =
   match

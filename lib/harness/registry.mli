@@ -6,6 +6,14 @@ module type MAKER = Sec_spec.Stack_intf.MAKER
 
 type progress_class = Sec_sim.Explore.progress_class = Blocking | Lock_free
 
+(** The sequential specification an entry's concurrent histories must
+    refine, checked by the refinement prong (docs/ANALYSIS.md,
+    "Refinement prong"): [Stack_sem] is strict LIFO linearizability,
+    [Pool_sem] the order-relaxed bag semantics of the SEC pool. Each
+    matches the implementing module's [@@@spec] lint declaration (rule
+    9). *)
+type semantics = Stack_sem | Pool_sem
+
 type entry = {
   name : string;
   maker : (module MAKER);
@@ -17,7 +25,13 @@ type entry = {
           announcers wait on their freezer); the sharded/elimination
           fast path — operations alone on a shard — is itself
           lock-free. *)
+  spec : semantics;
+      (** the sequential spec the structure refines; selects the default
+          refinement properties applied by [test/test_refine.ml] and
+          [sec_bench check]. *)
 }
+
+val semantics_to_string : semantics -> string
 
 (** SEC under an explicit configuration, displayed as [label]. *)
 val sec_with :
@@ -68,6 +82,21 @@ val all : entry list
 
 (** SEC_Agg1 .. SEC_Agg5 (Figure 4's self-comparison). *)
 val sec_aggregator_sweep : entry list
+
+(** The SEC-style pool ({!Sec_core.Sec_pool}) behind the stack interface
+    ([peek] is always [None]), declared {!Pool_sem}. Not part of [all]:
+    the stack benchmark sets and the progress suite are unchanged. *)
+val pool : entry
+
+(** [all] plus {!pool} — everything the refinement prong checks by
+    default. *)
+val refine_set : entry list
+
+(** Seeded correctness mutants ("SEC!OVF" batch-capacity overflow,
+    "SEC!POP" pop-side reorder; see {!Sec_core.Config.mutation}) —
+    known-bad targets for the refinement prong's detection and shrinking
+    tests. Never part of [all] or [find]. *)
+val mutants : entry list
 
 (** Find by display name; raises [Invalid_argument] for unknown names. *)
 val find : string -> entry

@@ -26,6 +26,7 @@
 (* Treiber under EBR: a failed CAS means a peer succeeded, and epoch
    entry/exit never waits on another thread. *)
 [@@@progress "lock_free"]
+[@@@spec "stack"]
 
 module Make (P : Sec_prim.Prim_intf.S) = struct
   module A = P.Atomic

@@ -12,6 +12,7 @@
 
 (* Thin wrapper over the lock-free {!Reclaimed_stack}. *)
 [@@@progress "lock_free"]
+[@@@spec "stack"]
 
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module R = Reclaimed_stack.Make (P)

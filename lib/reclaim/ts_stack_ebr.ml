@@ -29,6 +29,7 @@
 (* Same argument as the plain TS stack: losing the [taken] CAS means a
    peer popped the node, and pool scans never wait on a specific thread. *)
 [@@@progress "lock_free"]
+[@@@spec "stack"]
 
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module A = P.Atomic

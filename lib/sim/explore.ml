@@ -117,6 +117,18 @@ type loc_accesses = {
   reads : (int, int) Hashtbl.t; (* fiber -> step of its last read *)
 }
 
+(* Weighted-random scheduling state (PCT-style, see {!random_run}): one
+   priority weight per fiber, drawn once per run from the seeded [rng],
+   plus a [stay] weight for the currently running fiber. At every live
+   access the scheduler samples proportionally to the weights; choosing
+   another fiber is recorded as a {!placement} so the run replays through
+   the ordinary forced-preemption path. *)
+type rand_sched = {
+  rng : Sec_prim.Rng.t;
+  mutable weights : int array; (* per-fiber, sized lazily at first access *)
+  stay : int; (* weight of not deviating from the baseline *)
+}
+
 type run_ctx = {
   mutable fibers : fiber_state array;
   mutable rngs : Sec_prim.Rng.t array;
@@ -140,6 +152,10 @@ type run_ctx = {
   accesses : (int, loc_accesses) Hashtbl.t; (* loc -> last accesses *)
   branched : (int * int, unit) Hashtbl.t; (* dedup of (step, fiber) *)
   setup_rng : Sec_prim.Rng.t; (* for effects outside any fiber *)
+  (* Weighted-random scheduling; [recorded] accumulates the deviations
+     (reversed) so a failing run serializes to a replayable schedule. *)
+  rand : rand_sched option;
+  mutable recorded : placement list;
   (* Suspension adversary: freeze [fiber] just before its [n]th access. *)
   suspend : (int * int) option;
   mutable victim_seen : int; (* accesses the victim has reached *)
@@ -343,7 +359,15 @@ and at_live_access ctx ~loc ~kind (resume : unit -> unit) =
         | Start _ | Paused _ ->
             ctx.fibers.(ctx.current) <- Paused resume;
             dispatch ctx f)
-    | None ->
+    | None -> (
+        match random_choice ctx with
+        | Some f ->
+            (* A sampled deviation: record it so the run replays as a
+               plain forced-preemption schedule, then switch. *)
+            ctx.recorded <- { step = ctx.step; fiber = f } :: ctx.recorded;
+            ctx.fibers.(ctx.current) <- Paused resume;
+            dispatch ctx f
+        | None ->
         if ctx.in_quantum <= 1 then begin
           (* Baseline fairness: rotate round-robin. *)
           match next_runnable ctx with
@@ -357,8 +381,38 @@ and at_live_access ctx ~loc ~kind (resume : unit -> unit) =
         else begin
           ctx.in_quantum <- ctx.in_quantum - 1;
           resume ()
-        end
+        end)
   end
+
+(* Sample the weighted-random scheduler, if installed: [None] keeps the
+   fair baseline for this access, [Some f] deviates to fiber [f]. The
+   baseline still rotates every [quantum] accesses in between, so even a
+   fiber whose weight the sampler never favours keeps running — random
+   exploration stays sound for blocking algorithms. *)
+and random_choice ctx =
+  match ctx.rand with
+  | None -> None
+  | Some r -> (
+      match runnable_others ctx with
+      | [] -> None
+      | alts ->
+          if Array.length r.weights = 0 then
+            r.weights <-
+              Array.init (Array.length ctx.fibers) (fun _ ->
+                  1 lsl Sec_prim.Rng.int r.rng 4);
+          let total =
+            List.fold_left (fun acc f -> acc + r.weights.(f)) r.stay alts
+          in
+          let d = Sec_prim.Rng.int r.rng total in
+          if d < r.stay then None
+          else
+            let rec pick d = function
+              | [] -> None
+              | f :: rest ->
+                  if d < r.weights.(f) then Some f
+                  else pick (d - r.weights.(f)) rest
+            in
+            pick (d - r.stay) alts)
 
 (* ------------------------------------------------------------------ *)
 (* Driver                                                               *)
@@ -378,7 +432,22 @@ let setup_effc :
  fun ctx eff ->
   let open Effect.Deep in
   match eff with
-  | Sim_effects.Access (_, _) -> Some (fun k -> continue k ())
+  | Sim_effects.Access (_, _) ->
+      (* No scheduling (there is nothing to interleave with), but the
+         virtual clock still ticks: the final check records drain events
+         through {!Sec_spec.History}, and those need distinct timestamps
+         so the linearizability checker sees them as sequential. The step
+         budget applies here too (generously): a check that operates on
+         the structure (e.g. a draining pop) can inherit a stalled
+         protocol state — a combiner lock held by a crash-frozen fiber —
+         and would otherwise spin the setup context forever. *)
+      Some
+        (fun k ->
+          ctx.step <- ctx.step + 1;
+          if ctx.step > 4 * ctx.max_steps then
+            discontinue k
+              (Failure "Explore: setup/check exceeded the step budget")
+          else continue k ())
   | Sim_effects.Relax _ -> Some (fun k -> continue k ())
   | Sim_effects.Yield -> Some (fun k -> continue k ())
   | Sim_effects.New_loc ->
@@ -439,8 +508,8 @@ let run_one ctx scenario =
    with e -> outcome := Raised (Printexc.to_string e));
   !outcome
 
-let make_ctx ?suspend ~strategy ~quantum ~max_steps ~placements ~collecting
-    ~max_extensions () =
+let make_ctx ?suspend ?rand ~strategy ~quantum ~max_steps ~placements
+    ~collecting ~max_extensions () =
   let collect_from =
     List.fold_left (fun acc (p : placement) -> max acc p.step) 0 placements
   in
@@ -465,12 +534,55 @@ let make_ctx ?suspend ~strategy ~quantum ~max_steps ~placements ~collecting
     accesses = Hashtbl.create 64;
     branched = Hashtbl.create 64;
     setup_rng = Sec_prim.Rng.create 99L;
+    rand;
+    recorded = [];
     suspend;
     victim_seen = 0;
     suspended = false;
   }
 
 exception Stop of violation
+
+(* Run one schedule under the optional race/reclamation monitors —
+   shared by {!for_all} and {!for_random}. *)
+let monitored_run ~detect_races ~check_reclamation ctx scenario =
+  let run_monitored () =
+    if detect_races then begin
+      let d = Sec_analysis.Race_detector.create () in
+      let o =
+        Sec_analysis.Race_detector.with_detector d (fun () ->
+            run_one ctx scenario)
+      in
+      (o, Sec_analysis.Race_detector.races d)
+    end
+    else (run_one ctx scenario, [])
+  in
+  if check_reclamation then begin
+    let c = Sec_analysis.Reclaim_checker.create () in
+    let r = Sec_analysis.Reclaim_checker.with_checker c run_monitored in
+    (r, Sec_analysis.Reclaim_checker.reports c)
+  end
+  else (run_monitored (), [])
+
+(* Fold a monitored run's three failure channels into one verdict, most
+   specific first (a race explains a failed check better than the check
+   does). *)
+let violation_kind_of ((outcome, races), lifetime_bugs) =
+  match races with
+  | hz :: _ ->
+      Some (Race_detected (Sec_analysis.Race_detector.hazard_to_string hz))
+  | [] -> (
+      match lifetime_bugs with
+      | r :: _ ->
+          Some
+            (Reclamation_violation
+               (Sec_analysis.Reclaim_checker.report_to_string r))
+      | [] -> (
+          match outcome with
+          | Raised msg -> Some (Fiber_raised msg)
+          | Livelocked -> Some Livelock
+          | Ok_run false -> Some Check_failed
+          | Ok_run true -> None))
 
 let for_all ?(max_preemptions = 1) ?(quantum = 8) ?(max_schedules = 20_000)
     ?(max_steps = 50_000) ?(strategy = `Exhaustive) ?(detect_races = false)
@@ -486,45 +598,11 @@ let for_all ?(max_preemptions = 1) ?(quantum = 8) ?(max_schedules = 20_000)
         make_ctx ~strategy ~quantum ~max_steps ~placements ~collecting
           ~max_extensions:4_096 ()
       in
-      let run_monitored () =
-        if detect_races then begin
-          let d = Sec_analysis.Race_detector.create () in
-          let o =
-            Sec_analysis.Race_detector.with_detector d (fun () ->
-                run_one ctx scenario)
-          in
-          (o, Sec_analysis.Race_detector.races d)
-        end
-        else (run_one ctx scenario, [])
-      in
-      let (outcome, races), lifetime_bugs =
-        if check_reclamation then begin
-          let c = Sec_analysis.Reclaim_checker.create () in
-          let r =
-            Sec_analysis.Reclaim_checker.with_checker c run_monitored
-          in
-          (r, Sec_analysis.Reclaim_checker.reports c)
-        end
-        else (run_monitored (), [])
-      in
-      let fail kind =
-        raise (Stop { kind; schedule = placements; explored = !explored })
-      in
-      (match races with
-      | hz :: _ ->
-          fail (Race_detected (Sec_analysis.Race_detector.hazard_to_string hz))
-      | [] -> (
-          match lifetime_bugs with
-          | r :: _ ->
-              fail
-                (Reclamation_violation
-                   (Sec_analysis.Reclaim_checker.report_to_string r))
-          | [] -> (
-              match outcome with
-              | Raised msg -> fail (Fiber_raised msg)
-              | Livelocked -> fail Livelock
-              | Ok_run false -> fail Check_failed
-              | Ok_run true -> ())));
+      let monitored = monitored_run ~detect_races ~check_reclamation ctx scenario in
+      (match violation_kind_of monitored with
+      | Some kind ->
+          raise (Stop { kind; schedule = placements; explored = !explored })
+      | None -> ());
       if ctx.extensions_truncated then truncated := true;
       List.iter
         (fun (step, alts) ->
@@ -559,6 +637,90 @@ let replay ?(quantum = 8) ?(max_steps = 50_000) ?detector ?reclaim_checker
   | None -> go ()
 
 (* ------------------------------------------------------------------ *)
+(* Weighted-random exploration (PCT-style)                              *)
+
+let random_run ?(quantum = 8) ?(max_steps = 50_000) ?(stay_weight = 6) ~seed
+    scenario =
+  let rand =
+    { rng = Sec_prim.Rng.create seed; weights = [||]; stay = stay_weight }
+  in
+  let ctx =
+    make_ctx ~rand ~strategy:`Exhaustive ~quantum ~max_steps ~placements:[]
+      ~collecting:false ~max_extensions:0 ()
+  in
+  let outcome = run_one ctx scenario in
+  (outcome, List.rev ctx.recorded)
+
+let for_random ?(quantum = 8) ?(max_steps = 50_000) ?(runs = 64)
+    ?(stay_weight = 6) ?(detect_races = false) ?(check_reclamation = false)
+    ~seed scenario =
+  let master = Sec_prim.Rng.create seed in
+  let failure = ref None in
+  let k = ref 0 in
+  while Option.is_none !failure && !k < runs do
+    incr k;
+    (* Each run gets an independent generator split off the master, so
+       the whole sweep is a pure function of [seed]. *)
+    let rand =
+      { rng = Sec_prim.Rng.split master; weights = [||]; stay = stay_weight }
+    in
+    let ctx =
+      make_ctx ~rand ~strategy:`Exhaustive ~quantum ~max_steps ~placements:[]
+        ~collecting:false ~max_extensions:0 ()
+    in
+    let monitored =
+      monitored_run ~detect_races ~check_reclamation ctx scenario
+    in
+    match violation_kind_of monitored with
+    | Some kind ->
+        failure :=
+          Some { kind; schedule = List.rev ctx.recorded; explored = !k }
+    | None -> ()
+  done;
+  match !failure with
+  | Some v -> Failed v
+  | None -> Passed { schedules = runs; truncated = false }
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample shrinking                                             *)
+
+(* Delta debugging (Zeller & Hildebrandt's ddmin) over the placement
+   list: repeatedly try dropping chunks of forced preemptions, keeping
+   any smaller schedule for which [still_fails] holds, until the
+   schedule is 1-minimal at chunk granularity 1. [still_fails] replays
+   the candidate — schedules are deterministic, so the predicate is
+   stable and the loop terminates (each accepted candidate is strictly
+   shorter; otherwise the granularity doubles until it exceeds the
+   length). *)
+let shrink_schedule ~still_fails schedule =
+  if schedule = [] then []
+  else if still_fails [] then []
+  else
+    let rec minimize current n =
+      let len = List.length current in
+      if len <= 1 then current
+      else begin
+        let n = min n len in
+        let chunk = (len + n - 1) / n in
+        let rec try_complements i =
+          if i * chunk >= len then None
+          else
+            let lo = i * chunk and hi = min len ((i + 1) * chunk) in
+            let candidate =
+              List.filteri (fun j _ -> j < lo || j >= hi) current
+            in
+            if still_fails candidate then Some candidate
+            else try_complements (i + 1)
+        in
+        match try_complements 0 with
+        | Some candidate -> minimize candidate (max 2 (n - 1))
+        | None ->
+            if chunk <= 1 then current else minimize current (min len (2 * n))
+      end
+    in
+    minimize schedule 2
+
+(* ------------------------------------------------------------------ *)
 (* Adversarial suspension: the mechanical lock-freedom check             *)
 
 type progress_class = Blocking | Lock_free
@@ -570,17 +732,21 @@ type suspension_outcome =
   | Blocked (* the step budget ran out: the peers spun forever *)
   | Crashed of string
 
-(* One run under the suspension adversary. The scenario's final check is
-   deliberately not consulted: with a fiber parked mid-operation the
+(* One run under the suspension adversary. By default the scenario's
+   final check is not consulted: with a fiber parked mid-operation the
    shared state is legitimately half-updated (e.g. a value pushed but not
    yet popped), so the only question is whether the *other* fibers ran to
-   completion. Race/reclamation hooks are likewise not fed — a frozen
-   fiber holding a guard is the adversary's doing, not a bug. *)
-let run_frozen ctx scenario =
+   completion. With [consult], the check *is* evaluated when the peers
+   complete — for crash-aware refinement properties whose check already
+   accounts for the victim's in-flight operation ({!crashed_run}).
+   Race/reclamation hooks are not fed either way — a frozen fiber holding
+   a guard is the adversary's doing, not a bug. *)
+let run_frozen ?(consult = false) ctx scenario =
   let open Effect.Deep in
   let outcome = ref (Survived { engaged = false }) in
+  let verdict = ref None in
   let body () =
-    let fibers, _check = scenario () in
+    let fibers, check = scenario () in
     if fibers = [] then raise (Unsupported "scenario with no fibers");
     ctx.fibers <- Array.of_list (List.map (fun b -> Start b) fibers);
     ctx.rngs <-
@@ -588,10 +754,12 @@ let run_frozen ctx scenario =
           Sec_prim.Rng.create (Int64.of_int (1_000 + i)));
     dispatch ctx 0;
     if ctx.livelocked then outcome := Blocked
-    else
+    else begin
       (* The driver unwound with nothing runnable: every fiber is [Done]
          except the (at most one) [Frozen] victim. *)
-      outcome := Survived { engaged = ctx.suspended }
+      outcome := Survived { engaged = ctx.suspended };
+      if consult then verdict := Some (check ())
+    end
   in
   (try
      match_with body ()
@@ -601,7 +769,7 @@ let run_frozen ctx scenario =
          effc = (fun eff -> setup_effc ctx eff);
        }
    with e -> outcome := Crashed (Printexc.to_string e));
-  !outcome
+  (!outcome, !verdict)
 
 let suspended_run ?(quantum = 8) ?(max_steps = 20_000) ~victim ~after scenario
     =
@@ -609,7 +777,14 @@ let suspended_run ?(quantum = 8) ?(max_steps = 20_000) ~victim ~after scenario
     make_ctx ~suspend:(victim, after) ~strategy:`Exhaustive ~quantum
       ~max_steps ~placements:[] ~collecting:false ~max_extensions:0 ()
   in
-  run_frozen ctx scenario
+  fst (run_frozen ctx scenario)
+
+let crashed_run ?(quantum = 8) ?(max_steps = 20_000) ~victim ~after scenario =
+  let ctx =
+    make_ctx ~suspend:(victim, after) ~strategy:`Exhaustive ~quantum
+      ~max_steps ~placements:[] ~collecting:false ~max_extensions:0 ()
+  in
+  run_frozen ~consult:true ctx scenario
 
 type classification = {
   verdict : progress_class;

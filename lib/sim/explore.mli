@@ -83,6 +83,61 @@ val for_all :
 
 type one_outcome = Ok_run of bool | Raised of string | Livelocked
 
+(** {1 Weighted-random exploration}
+
+    A PCT-style randomized scheduler (Burckhardt et al., "A randomized
+    scheduler with probabilistic guarantees of finding bugs") for depths
+    the bounded DFS cannot exhaust: each run draws one priority weight
+    per fiber from a seeded generator, and at every atomic access the
+    scheduler either stays on the current fiber (weight [stay_weight])
+    or deviates to a runnable other, proportionally to the weights. The
+    fair round-robin baseline still rotates between deviations, so
+    blocking algorithms cannot be starved into false livelocks.
+
+    Every deviation is recorded as a {!placement}, so a failing run
+    serializes to an ordinary schedule replayable with {!replay} — the
+    random exploration produces pinned, deterministic witnesses. *)
+
+(** One seeded random run. Returns the outcome plus the recorded
+    deviations (ascending); replaying them with {!replay} reproduces the
+    run exactly. *)
+val random_run :
+  ?quantum:int ->
+  ?max_steps:int ->
+  ?stay_weight:int ->
+  seed:int64 ->
+  (unit -> (unit -> unit) list * (unit -> bool)) ->
+  one_outcome * placement list
+
+(** [for_random ~seed scenario] performs [runs] independent seeded
+    random runs (each run's generator is split off one master seeded
+    with [seed], so the sweep is a pure function of [seed]) and fails
+    with the first violation, whose [schedule] is the recorded deviation
+    list. [detect_races]/[check_reclamation] monitor every run as in
+    {!for_all}. *)
+val for_random :
+  ?quantum:int ->
+  ?max_steps:int ->
+  ?runs:int ->
+  ?stay_weight:int ->
+  ?detect_races:bool ->
+  ?check_reclamation:bool ->
+  seed:int64 ->
+  (unit -> (unit -> unit) list * (unit -> bool)) ->
+  result
+
+(** {1 Counterexample shrinking}
+
+    [shrink_schedule ~still_fails schedule] minimizes a failing schedule
+    by delta debugging (ddmin) over its placements: it returns a
+    sublist, still failing according to [still_fails], from which no
+    single placement can be removed without the failure disappearing.
+    [still_fails] must replay the candidate deterministically (e.g. via
+    {!replay}, comparing the violation kind); it is invoked O(n²) times
+    in the worst case for an n-placement schedule. *)
+val shrink_schedule :
+  still_fails:(placement list -> bool) -> placement list -> placement list
+
 (** Replay one specific schedule (e.g. a reported violation). With
     [detector] and/or [reclaim_checker], the run feeds them; inspect
     them afterwards. *)
@@ -125,6 +180,21 @@ val suspended_run :
   after:int ->
   (unit -> (unit -> unit) list * (unit -> bool)) ->
   suspension_outcome
+
+(** Like {!suspended_run}, but when the peers run to completion the
+    scenario's final check {e is} consulted, and its verdict returned
+    alongside the outcome ([None] on [Blocked]/[Crashed]). For
+    crash-aware refinement properties (docs/ANALYSIS.md, "Refinement
+    prong"): the check must already account for the victim's possibly
+    half-completed operation — e.g. treat its in-flight pushes as
+    optional. *)
+val crashed_run :
+  ?quantum:int ->
+  ?max_steps:int ->
+  victim:int ->
+  after:int ->
+  (unit -> (unit -> unit) list * (unit -> bool)) ->
+  suspension_outcome * bool option
 
 type classification = {
   verdict : progress_class;

@@ -60,7 +60,8 @@ end
 
 exception Too_hard
 
-let check ?(max_states = 2_000_000) ?(init = []) events =
+let check ?(max_states = 2_000_000) ?(max_work = 50_000_000) ?(init = [])
+    events =
   let cells =
     Array.of_list
       (List.map
@@ -72,6 +73,16 @@ let check ?(max_states = 2_000_000) ?(init = []) events =
   else begin
     let seen : (Bytes.t * 'a list, unit) Hashtbl.t = Hashtbl.create 4096 in
     let states = ref 0 in
+    (* Second guard alongside [max_states]: total linearization attempts.
+       [max_states] bounds *distinct* memoised states, but each visited
+       state fans out into up to n apply attempts and memo probes, and
+       every probe hashes an (n/8-byte bitset, stack) key — so the time
+       under the state cap alone is O(max_states · n²), effectively
+       unbounded for the wide all-concurrent histories an adversary (or a
+       fuzzer) can produce. Counting every linearization attempt bounds
+       wall-clock directly; exceeding either budget reports [Gave_up]
+       (inconclusive), never a wrong verdict. *)
+    let work = ref 0 in
     let rec search remaining stack =
       if Bitset.is_empty remaining then true
       else if Hashtbl.mem seen (remaining, stack) then false
@@ -89,10 +100,13 @@ let check ?(max_states = 2_000_000) ?(init = []) events =
           if i >= n then false
           else if
             Bitset.mem remaining i && Int64.compare cells.(i).inv !min_resp <= 0
-          then
+          then begin
+            incr work;
+            if !work > max_work then raise Too_hard;
             match apply cells.(i).op stack with
             | Some stack' when search (Bitset.remove remaining i) stack' -> true
             | _ -> try_ops (i + 1)
+          end
           else try_ops (i + 1)
         in
         try_ops 0

@@ -3,11 +3,19 @@
 
 type result = Linearizable | Not_linearizable | Gave_up
 
-(** [check ?max_states ?init events] decides whether the complete history
-    [events] is linearizable with respect to a stack whose initial
-    contents are [init] (top first). [max_states] bounds the search;
-    exceeding it yields [Gave_up], never a wrong verdict. *)
+(** [check ?max_states ?max_work ?init events] decides whether the
+    complete history [events] is linearizable with respect to a stack
+    whose initial contents are [init] (top first). [max_states] bounds
+    distinct memoised search states; [max_work] bounds total
+    linearization attempts (the wall-clock guard — adversarial histories
+    can burn unbounded time under the state cap alone by probing the
+    memo table). Exceeding either yields [Gave_up] (an inconclusive
+    verdict), never a wrong one. *)
 val check :
-  ?max_states:int -> ?init:'a list -> 'a History.event list -> result
+  ?max_states:int ->
+  ?max_work:int ->
+  ?init:'a list ->
+  'a History.event list ->
+  result
 
 val pp_result : Format.formatter -> result -> unit

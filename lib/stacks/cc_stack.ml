@@ -4,6 +4,7 @@
 (* Combining is blocking: suspend the combiner mid-drain and every
    enqueued announcement waits forever on its node's flag. *)
 [@@@progress "blocking"]
+[@@@spec "stack"]
 
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module Ccsynch = Ccsynch.Make (P)

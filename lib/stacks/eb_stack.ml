@@ -13,6 +13,7 @@
 (* A failed top-CAS means a peer succeeded, and every exchanger visit is
    bounded by its timeout — no wait depends on one specific thread. *)
 [@@@progress "lock_free"]
+[@@@spec "stack"]
 
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module A = P.Atomic

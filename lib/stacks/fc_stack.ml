@@ -5,6 +5,7 @@
 (* Combining is blocking: suspend the combiner mid-scan and every
    announced operation waits forever on its result slot. *)
 [@@@progress "blocking"]
+[@@@spec "stack"]
 
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module Fc = Fc.Make (P)

@@ -5,6 +5,7 @@
 (* Combining is blocking at both levels: suspend a per-socket combiner
    (or the global-lock holder) and its whole cohort waits forever. *)
 [@@@progress "blocking"]
+[@@@spec "stack"]
 
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module Hsynch = Hsynch.Make (P)

@@ -7,6 +7,7 @@
    thread cold — the definition of blocking. The suspension classifier
    confirms this mechanically (docs/ANALYSIS.md, "Progress prong"). *)
 [@@@progress "blocking"]
+[@@@spec "stack"]
 
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module A = P.Atomic

@@ -8,6 +8,7 @@
    suspension classifier): a failed CAS means another operation
    succeeded, so a suspended thread never stops its peers. *)
 [@@@progress "lock_free"]
+[@@@spec "stack"]
 
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module A = P.Atomic

@@ -17,6 +17,7 @@
 (* Pushes touch only the pusher's own pool; a pop losing the [taken] CAS
    means a peer claimed the node. No wait names a specific thread. *)
 [@@@progress "lock_free"]
+[@@@spec "stack"]
 
 module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
   module A = P.Atomic

@@ -3,6 +3,7 @@
    use-after-free and must be flagged. push keeps its guard and must
    stay clean. *)
 [@@@progress "lock_free"]
+[@@@spec "stack"]
 
 module A = Atomic
 module E = Ebr.Make (Prim)

@@ -1,7 +1,10 @@
 (* progress-class: a module that implements the stack interface (binds
    both [push] and [pop]) but never declares [@@@progress "..."]. The
    waiting is correctly paced, so only the missing declaration fires —
-   anchored at the later of the two bindings. *)
+   anchored at the later of the two bindings. The spec class *is*
+   declared, so rule 9 stays quiet and the fixture pins rule 7 alone. *)
+[@@@spec "stack"]
+
 module A = Atomic
 
 type 'a t = { lock : bool A.t; items : 'a list ref }

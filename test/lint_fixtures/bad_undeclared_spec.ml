@@ -1,0 +1,36 @@
+(* spec-class: a module that implements the stack interface (binds both
+   [push] and [pop]) and declares its progress class but never declares
+   which sequential spec its histories refine ([@@@spec "stack"] or
+   [@@@spec "pool"]). Only the missing declaration fires — anchored at
+   the later of the two bindings. The invalid-payload arm is pinned by
+   the unit tests in test/test_lint.ml. *)
+[@@@progress "lock_free"]
+
+module A = Atomic
+
+type 'a t = { top : 'a list A.t }
+
+let push t v =
+  let backoff = Backoff.create () in
+  let rec attempt () =
+    let cur = A.get t.top in
+    if not (A.compare_and_set t.top cur (v :: cur)) then begin
+      Backoff.once backoff;
+      attempt ()
+    end
+  in
+  attempt ()
+
+let pop t = (* EXPECT spec-class *)
+  let backoff = Backoff.create () in
+  let rec attempt () =
+    match A.get t.top with
+    | [] -> None
+    | v :: rest ->
+        if A.compare_and_set t.top (v :: rest) rest then Some v
+        else begin
+          Backoff.once backoff;
+          attempt ()
+        end
+  in
+  attempt ()

@@ -3,6 +3,7 @@
    The self-test asserts the lint reports nothing here — this file pins
    the progress rules' false-positive behaviour. *)
 [@@@progress "lock_free"]
+[@@@spec "stack"]
 
 module A = Atomic
 

@@ -1,0 +1,34 @@
+(* Clean spec discipline: a declared-blocking module that also declares
+   the pool relaxation — its pops may return values out of LIFO order,
+   so the refinement checker holds it to the bag spec, not Lin_check.
+   The self-test asserts the lint reports nothing here — this file pins
+   the spec rule's false-positive behaviour (and that "pool" is as
+   acceptable a payload as "stack"). *)
+[@@@progress "blocking"]
+[@@@spec "pool"]
+
+module A = Atomic
+
+type 'a t = { lock : bool A.t; items : 'a list ref }
+
+let acquire t =
+  Backoff.spin_while (fun () -> not (A.compare_and_set t.lock false true))
+
+let release t = A.set t.lock false
+
+let push t v =
+  acquire t;
+  t.items := v :: !t.items;
+  release t
+
+let pop t =
+  acquire t;
+  let r =
+    match !(t.items) with
+    | [] -> None
+    | x :: rest ->
+        t.items := rest;
+        Some x
+  in
+  release t;
+  r

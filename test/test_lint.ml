@@ -262,18 +262,20 @@ let test_non_shared_loop_clean () =
 
 let test_missing_declaration_fires () =
   let src =
-    "let push t v = ignore (t, v)\n\
+    "[@@@spec \"stack\"]\n\
+     let push t v = ignore (t, v)\n\
      let pop t = ignore t; None\n"
   in
   match check src with
   | [ d ] ->
       Alcotest.(check string) "rule" "progress-class" d.L.rule;
-      Alcotest.(check int) "anchored at the later binding" 2 d.L.line
+      Alcotest.(check int) "anchored at the later binding" 3 d.L.line
   | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
 
 let test_declared_module_clean () =
   let src =
     "[@@@progress \"blocking\"]\n\
+     [@@@spec \"stack\"]\n\
      let push t v = ignore (t, v)\n\
      let pop t = ignore t; None\n"
   in
@@ -282,6 +284,7 @@ let test_declared_module_clean () =
 let test_invalid_payload_fires () =
   let src =
     "[@@@progress \"wait_free\"]\n\
+     [@@@spec \"stack\"]\n\
      let push t v = ignore (t, v)\n\
      let pop t = ignore t; None\n"
   in
@@ -291,18 +294,20 @@ let test_invalid_payload_fires () =
 let test_lock_free_spin_fires () =
   let src =
     "[@@@progress \"lock_free\"]\n\
+     [@@@spec \"stack\"]\n\
      let push t v = ignore (t, v)\n\
      let pop t = Backoff.spin_until (fun () -> A.get t.done_); None\n"
   in
   match check src with
   | [ d ] ->
       Alcotest.(check string) "rule" "progress-class" d.L.rule;
-      Alcotest.(check int) "line of the spin" 3 d.L.line
+      Alcotest.(check int) "line of the spin" 4 d.L.line
   | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
 
 let test_lock_free_spin_await_ok_accepted () =
   let src =
     "[@@@progress \"lock_free\"]\n\
+     [@@@spec \"stack\"]\n\
      let push t v = ignore (t, v)\n\
      let pop t =\n\
     \  (Backoff.spin_until (fun () -> A.get t.done_)\n\
@@ -316,6 +321,69 @@ let test_half_interface_needs_no_declaration () =
   (* Binding push alone (a helper module, say) is not a stack. *)
   let src = "let push t v = ignore (t, v)\n" in
   Alcotest.(check int) "push without pop: no declaration needed" 0
+    (List.length (check src))
+
+(* -------------------------------------------------------------------- *)
+(* spec-class *)
+
+let test_spec_missing_declaration_fires () =
+  let src =
+    "[@@@progress \"blocking\"]\n\
+     let pop t = ignore t; None\n\
+     let push t v = ignore (t, v)\n"
+  in
+  match check src with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "spec-class" d.L.rule;
+      Alcotest.(check int) "anchored at the later binding" 3 d.L.line
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let test_spec_stack_declared_clean () =
+  let src =
+    "[@@@progress \"blocking\"]\n\
+     [@@@spec \"stack\"]\n\
+     let push t v = ignore (t, v)\n\
+     let pop t = ignore t; None\n"
+  in
+  Alcotest.(check int) "declared stack module is clean" 0
+    (List.length (check src))
+
+let test_spec_pool_declared_clean () =
+  let src =
+    "[@@@progress \"blocking\"]\n\
+     [@@@spec \"pool\"]\n\
+     let push t v = ignore (t, v)\n\
+     let pop t = ignore t; None\n"
+  in
+  Alcotest.(check int) "declared pool module is clean" 0
+    (List.length (check src))
+
+let test_spec_invalid_payload_fires () =
+  let src =
+    "[@@@progress \"blocking\"]\n\
+     [@@@spec \"queue\"]\n\
+     let push t v = ignore (t, v)\n\
+     let pop t = ignore t; None\n"
+  in
+  match check src with
+  | [ d ] ->
+      Alcotest.(check string) "rule" "spec-class" d.L.rule;
+      Alcotest.(check int) "line of the bad declaration" 2 d.L.line
+  | ds -> Alcotest.failf "expected one diagnostic, got %d" (List.length ds)
+
+let test_spec_bare_attribute_fires () =
+  let src =
+    "[@@@progress \"blocking\"]\n\
+     [@@@spec]\n\
+     let push t v = ignore (t, v)\n\
+     let pop t = ignore t; None\n"
+  in
+  Alcotest.(check (list string)) "payload-less declaration rejected"
+    [ "spec-class" ] (rules (check src))
+
+let test_spec_half_interface_exempt () =
+  let src = "let pop t = ignore t; None\n" in
+  Alcotest.(check int) "pop without push: no declaration needed" 0
     (List.length (check src))
 
 (* -------------------------------------------------------------------- *)
@@ -442,6 +510,21 @@ let () =
             test_lock_free_spin_await_ok_accepted;
           Alcotest.test_case "half interface exempt" `Quick
             test_half_interface_needs_no_declaration;
+        ] );
+      ( "spec-class",
+        [
+          Alcotest.test_case "missing declaration fires" `Quick
+            test_spec_missing_declaration_fires;
+          Alcotest.test_case "declared stack clean" `Quick
+            test_spec_stack_declared_clean;
+          Alcotest.test_case "declared pool clean" `Quick
+            test_spec_pool_declared_clean;
+          Alcotest.test_case "invalid payload rejected" `Quick
+            test_spec_invalid_payload_fires;
+          Alcotest.test_case "payload-less declaration rejected" `Quick
+            test_spec_bare_attribute_fires;
+          Alcotest.test_case "half interface exempt" `Quick
+            test_spec_half_interface_exempt;
         ] );
       ( "scope",
         [

@@ -211,6 +211,39 @@ let test_lin_gave_up () =
     Lin_check.Gave_up
     (Lin_check.check ~max_states:500 (pushes @ pops))
 
+let test_lin_work_budget () =
+  (* The work budget (attempted transitions, satellite of the refinement
+     prong): independent of the memo-table bound, a search that grinds
+     too long must come back Inconclusive-as-Gave_up, never hang and
+     never guess. The same wide history passes outright once the budget
+     is ample, and an explicitly-passed generous budget leaves a
+     Not_linearizable verdict untouched. *)
+  let wide n =
+    let pushes = List.init n (fun i -> ev i (Push (i + 1)) 0L 100L) in
+    let pops =
+      List.init n (fun i ->
+          let t = Int64.of_int (200 + (10 * i)) in
+          ev 0 (Pop (Some (i + 1))) t (Int64.add t 5L))
+    in
+    pushes @ pops
+  in
+  Alcotest.check result "tiny work budget gives up, not wrong"
+    Lin_check.Gave_up
+    (Lin_check.check ~max_work:30 (wide 12));
+  Alcotest.check result "ample work budget completes"
+    Lin_check.Linearizable
+    (Lin_check.check ~max_work:10_000_000 (wide 8));
+  let fifo =
+    [
+      ev 0 (Push 1) 0L 1L;
+      ev 0 (Push 2) 2L 3L;
+      ev 0 (Pop (Some 1)) 4L 5L;
+    ]
+  in
+  Alcotest.check result "verdicts unaffected by a generous budget"
+    Lin_check.Not_linearizable
+    (Lin_check.check ~max_work:10_000_000 fifo)
+
 let test_lin_pp () =
   let to_string pp v = Format.asprintf "%a" pp v in
   Alcotest.(check string) "result pp" "linearizable"
@@ -309,6 +342,8 @@ let () =
           Alcotest.test_case "initial state" `Quick test_lin_initial_state;
           Alcotest.test_case "elimination pair" `Quick test_lin_elimination_pair;
           Alcotest.test_case "bounded search gives up" `Quick test_lin_gave_up;
+          Alcotest.test_case "work budget gives up" `Quick
+            test_lin_work_budget;
           Alcotest.test_case "pretty printers" `Quick test_lin_pp;
           QCheck_alcotest.to_alcotest qcheck_lin_accepts_legal;
           QCheck_alcotest.to_alcotest qcheck_lin_rejects_corrupted;
