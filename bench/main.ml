@@ -94,4 +94,17 @@ let () =
     }
   in
   print_endline "\n== Paper reproduction (simulated NUMA machines) ==";
-  Sec_harness.Experiments.run_all opts
+  (* Figures and tables decompose into independent simulation jobs and
+     go through the sweep pool (output is bit-identical at any pool
+     size); ablations, extensions and the smoke run carry no plan and
+     run serially after. *)
+  Sec_harness.Experiments.run_figures opts
+    ~jobs:(Sec_harness.Sweep.default_jobs ())
+    ~report_path:"results/REPORT.md" ();
+  List.iter
+    (fun (e : Sec_harness.Experiments.t) ->
+      if Option.is_none e.Sec_harness.Experiments.plan then begin
+        print_newline ();
+        Sec_harness.Experiments.run_one opts e
+      end)
+    Sec_harness.Experiments.all

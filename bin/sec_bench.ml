@@ -143,6 +143,76 @@ let sweep_cmd =
     Term.(const run $ opts_term $ machine_arg $ workload_arg $ algos_arg
           $ threads_arg)
 
+(* One-command paper figure set: every fig2..fig12 + table cell
+   regenerated as independent simulation jobs over a native domain pool,
+   plus REPORT.md comparing curve shapes against EXPERIMENTS.md's
+   recorded claims. Output is bit-identical for every --jobs value. *)
+let figures_cmd =
+  let jobs_arg =
+    let doc =
+      "Domain-pool size (default: the host's recommended domain count; \
+       clamped to it; $(b,1) runs serially with bit-identical output)."
+    in
+    Arg.(value & opt int (Sec_harness.Sweep.default_jobs ())
+         & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let topology_arg =
+    let doc = "Only cells simulating this machine (emerald/icelake/sapphire)." in
+    Arg.(value & opt (some string) None & info [ "topology" ] ~docv:"NAME" ~doc)
+  in
+  let only_arg =
+    let doc =
+      "Comma-separated figure filters: experiment ids ($(b,fig2)) or \
+       single cells ($(b,fig2/100%upd))."
+    in
+    Arg.(value & opt (list string) [] & info [ "only" ] ~docv:"FIG,..." ~doc)
+  in
+  let out_arg =
+    let doc = "Output directory for CSVs and REPORT.md." in
+    Arg.(value & opt string "results" & info [ "csv"; "out" ] ~docv:"DIR" ~doc)
+  in
+  let report_arg =
+    let doc = "Path for the claims report (default $(i,DIR)/REPORT.md)." in
+    Arg.(value & opt (some string) None & info [ "report" ] ~docv:"PATH" ~doc)
+  in
+  let no_report_arg =
+    let doc = "Skip REPORT.md generation." in
+    Arg.(value & flag & info [ "no-report" ] ~doc)
+  in
+  let digests_arg =
+    let doc =
+      "Also write each job's schedule digest to $(docv) (CSV) — the \
+       golden the event-loop refactor tests pin."
+    in
+    Arg.(value & opt (some string) None & info [ "digests" ] ~docv:"PATH" ~doc)
+  in
+  let run scale seed jobs topology only dir report no_report digests =
+    let opts =
+      { E.scale; csv_dir = Some dir; backend = `Sim; seed }
+    in
+    Sec_harness.Report.ensure_dir dir;
+    let report_path =
+      if no_report then None
+      else Some (Option.value report ~default:(Filename.concat dir "REPORT.md"))
+    in
+    match
+      E.run_figures opts ~jobs ?topology ~only ?report_path
+        ?digest_path:digests ()
+    with
+    | () -> ()
+    | exception Invalid_argument msg ->
+        Printf.eprintf "%s\n" msg;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "figures"
+       ~doc:
+         "Regenerate the full paper figure set (CSVs + REPORT.md) with \
+          simulation jobs fanned out across a domain pool")
+    Term.(
+      const run $ scale_arg $ seed_arg $ jobs_arg $ topology_arg $ only_arg
+      $ out_arg $ report_arg $ no_report_arg $ digests_arg)
+
 (* Machine-readable baseline: pinned sim (or native) runs over every
    structure, with allocation counts and magazine hit rates; optionally
    emitted as BENCH_<backend>.json and/or compared against a checked-in
@@ -179,7 +249,15 @@ let bench_cmd =
     let doc = "Allowed fractional throughput regression (default 0.10)." in
     Arg.(value & opt float 0.10 & info [ "threshold" ] ~docv:"F" ~doc)
   in
-  let run seed backend emit against threshold =
+  let events_threshold_arg =
+    let doc =
+      "Allowed fractional events/sec (wall-clock event-loop throughput) \
+       regression (default 0.10; widen when comparing across machines of \
+       different speeds)."
+    in
+    Arg.(value & opt float 0.10 & info [ "events-threshold" ] ~docv:"F" ~doc)
+  in
+  let run seed backend emit against threshold events_threshold =
     let doc =
       match backend with
       | `Sim -> J.collect_sim ~seed ()
@@ -187,6 +265,9 @@ let bench_cmd =
     in
     Printf.printf "bench [%s %s, seed %d]: %d rows (%s)\n" doc.J.backend
       doc.J.machine doc.J.seed (List.length doc.J.rows) doc.J.unit_label;
+    if doc.J.events_per_sec > 0. then
+      Printf.printf "  event loop: %.3g events/sec (wall clock, best-of-12)\n"
+        doc.J.events_per_sec;
     List.iter
       (fun (r : J.row) ->
         Printf.printf
@@ -207,11 +288,13 @@ let bench_cmd =
     | None -> ()
     | Some path -> (
         let baseline = J.read ~path in
-        match J.check ~threshold ~baseline ~current:doc () with
+        match J.check ~threshold ~events_threshold ~baseline ~current:doc () with
         | [] ->
             Printf.printf
-              "baseline %s: no paper-set regression beyond %.0f%%\n" path
-              (100. *. threshold)
+              "baseline %s: no paper-set regression beyond %.0f%% (events/sec \
+               beyond %.0f%%)\n"
+              path (100. *. threshold)
+              (100. *. events_threshold)
         | regs ->
             List.iter
               (fun (r : J.regression) ->
@@ -230,7 +313,7 @@ let bench_cmd =
           BENCH_<backend>.json")
     Term.(
       const run $ seed_arg $ backend_arg $ emit_arg $ against_arg
-      $ threshold_arg)
+      $ threshold_arg $ events_threshold_arg)
 
 (* Refinement sweep: every registry entry (plus the pool relaxation, plus
    — under --mutants — the seeded fault-injection builds) is run through
@@ -444,5 +527,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; run_cmd; all_cmd; sweep_cmd; bench_cmd; check_cmd;
-            algos_cmd ]))
+          [ list_cmd; run_cmd; all_cmd; figures_cmd; sweep_cmd; bench_cmd;
+            check_cmd; algos_cmd ]))

@@ -14,7 +14,49 @@ type opts = {
 
 val default_opts : opts
 
-type t = { id : string; title : string; run : opts -> unit }
+(** A paper figure/table additionally carries a [plan]: its decomposition
+    into [cell]s whose jobs are independent simulations, the unit of
+    parallelism for `sec_bench figures` (see {!run_figures}). The serial
+    [run] path executes the same plan in order, so both paths produce
+    byte-identical CSVs. Ablations/extensions have no plan. *)
+type t = {
+  id : string;
+  title : string;
+  run : opts -> unit;
+  plan : (opts -> cell list) option;
+}
+
+and cell = {
+  cell_id : string;  (** e.g. ["fig2/100%upd"]; tables use the bare id *)
+  cell_fig : string;  (** owning experiment id *)
+  cell_topology : string;
+  cell_jobs : (unit -> job_result) array;
+      (** independent simulations, canonical (row-major) order *)
+  cell_render : job_result array -> output;  (** pure *)
+}
+
+and job_result =
+  | Mops of float * int  (** throughput point, schedule digest *)
+  | Degrees of (float * float * float) * int
+      (** (batching degree, %elimination, %combining), schedule digest *)
+
+and output =
+  | Series of {
+      title : string;
+      file : string;
+      columns : int list;
+      rows : (string * float array) list;
+    }
+  | Keyed of {
+      title : string;
+      file : string;
+      columns : string list;
+      rows : (string * string list) list;
+    }
+
+(** The schedule digest a job's simulation reported
+    ([Sim.stats.schedule_digest]). *)
+val digest_of : job_result -> int
 
 (** Simulated duration for one data point under [opts]. *)
 val duration_cycles : opts -> int
@@ -41,3 +83,27 @@ val run_one : opts -> t -> unit
 
 (** {!run_one} over {!all}, blank-line separated. *)
 val run_all : opts -> unit
+
+(** The experiments that carry a figure plan (fig2..fig12, table1..3). *)
+val figure_ids : unit -> string list
+
+(** [run_figures opts ~jobs ()] regenerates the paper figure set: every
+    plan's cells are decomposed into independent simulation jobs, fanned
+    out over a [jobs]-domain {!Sweep} pool (clamped to the host's
+    recommended domain count) and merged in canonical order — stdout
+    tables, CSVs (under [opts.csv_dir]), the optional [report_path]
+    REPORT.md (curve shapes vs EXPERIMENTS.md's recorded claims) and the
+    optional [digest_path] per-job schedule-digest CSV are bit-identical
+    for every pool size, including [~jobs:1]. [?topology] restricts to
+    one machine's cells; [?only] filters by experiment id ("fig2") or
+    cell id ("fig2/100%upd") and raises [Invalid_argument] on unknown
+    filters. *)
+val run_figures :
+  opts ->
+  jobs:int ->
+  ?topology:string ->
+  ?only:string list ->
+  ?report_path:string ->
+  ?digest_path:string ->
+  unit ->
+  unit

@@ -60,6 +60,18 @@ let csv ~dir ~file ~header ~rows =
   close_out oc;
   Printf.printf "  [csv] wrote %s\n%!" path
 
+(* Markdown report writer (REPORT.md of `sec_bench figures`): each line
+   is written verbatim, so callers own the formatting. *)
+let markdown ~path ~lines =
+  let oc = open_out path in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  close_out oc;
+  Printf.printf "  [report] wrote %s\n%!" path
+
 (* CSV rows for a series table. *)
 let csv_of_series ~dir ~file ~columns ~rows =
   let header = "algorithm" :: List.map string_of_int columns in

@@ -17,6 +17,10 @@ val ensure_dir : string -> unit
 val csv :
   dir:string -> file:string -> header:string list -> rows:string list list -> unit
 
+(** [markdown ~path ~lines] writes a markdown document, one entry of
+    [lines] per line, verbatim. *)
+val markdown : path:string -> lines:string list -> unit
+
 (** CSV form of a {!series} table. *)
 val csv_of_series :
   dir:string ->

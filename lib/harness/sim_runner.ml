@@ -22,18 +22,33 @@ let loop_overhead = 10
    run remains reproducible per seed. *)
 let bench_jitter = 2
 
-let run (module Maker : Registry.MAKER) ~topology ~threads ~duration_cycles
-    ~mix ?(prefill = default_prefill) ?(value_range = default_value_range)
-    ?(seed = 1) () =
-  let (name, outcome), _stats =
+(* Pop-only sweeps measure sustained pop pressure, so the prefill must
+   outlast the window for every algorithm; otherwise the fast ones drain
+   the stack and the figure degenerates into empty-pop throughput. *)
+let prefill_for mix =
+  if mix.Workload.pop_pct = 100 then 50_000 else default_prefill
+
+let run_with_stats (module Maker : Registry.MAKER) ~topology ~threads
+    ~duration_cycles ~mix ?(prefill = default_prefill)
+    ?(value_range = default_value_range) ?(seed = 1) () =
+  let (name, outcome), stats =
     Sec_sim.Sim.run ~seed ~jitter:bench_jitter ~topology (fun () ->
         R.run_maker
           (module Maker)
           ~op_overhead:loop_overhead ~threads ~stop:(R.Timed duration_cycles)
           ~mix ~prefill ~value_range ())
   in
-  Measurement.of_simulated ~algorithm:name ~threads ~ops:(R.total outcome)
-    ~cycles:duration_cycles
+  ( Measurement.of_simulated ~algorithm:name ~threads ~ops:(R.total outcome)
+      ~cycles:duration_cycles,
+    stats )
+
+let run (module Maker : Registry.MAKER) ~topology ~threads ~duration_cycles
+    ~mix ?(prefill = default_prefill) ?(value_range = default_value_range)
+    ?(seed = 1) () =
+  fst
+    (run_with_stats
+       (module Maker)
+       ~topology ~threads ~duration_cycles ~mix ~prefill ~value_range ~seed ())
 
 (* Like [run], but recording a per-operation latency histogram (virtual
    cycles, benchmark-loop overhead excluded). *)
@@ -56,12 +71,12 @@ let run_latency_profile (module Maker : Registry.MAKER) ~topology ~threads
 (* SEC with statistics collection, for the batching-degree tables. Not a
    plain registry run — it snapshots the stack's counters around the
    measured window — so it uses [R.drive] directly. *)
-let run_sec_stats ~config ~topology ~threads ~duration_cycles ~mix
+let run_sec_stats_with ~config ~topology ~threads ~duration_cycles ~mix
     ?(prefill = default_prefill) ?(value_range = default_value_range)
     ?(seed = 1) () =
   let module Sec = Sec_core.Sec_stack.Make (SP) in
   let config = { config with Sec_core.Config.collect_stats = true } in
-  let stats, _ =
+  let stats, sim_stats =
     Sec_sim.Sim.run ~seed ~jitter:bench_jitter ~topology (fun () ->
         let stack = Sec.create_with ~config ~max_threads:(max threads 1) () in
         for i = 1 to prefill do
@@ -80,7 +95,14 @@ let run_sec_stats ~config ~topology ~threads ~duration_cycles ~mix
         in
         Sec_core.Sec_stats.diff (Sec.stats stack) baseline)
   in
-  stats
+  (stats, sim_stats)
+
+let run_sec_stats ~config ~topology ~threads ~duration_cycles ~mix
+    ?(prefill = default_prefill) ?(value_range = default_value_range)
+    ?(seed = 1) () =
+  fst
+    (run_sec_stats_with ~config ~topology ~threads ~duration_cycles ~mix
+       ~prefill ~value_range ~seed ())
 
 (* Record an operation history under virtual time, for linearizability
    checking of simulated executions. *)
@@ -114,12 +136,7 @@ let backend ~topology ~duration_cycles : (module Runner.BACKEND) =
     let file_suffix = ""
     let sweep_threads = threads_for topology
 
-    (* Pop-only sweeps measure sustained pop pressure, so the prefill must
-       outlast the window for every algorithm; otherwise the fast ones
-       drain the stack and the figure degenerates into empty-pop
-       throughput. *)
-    let prefill_for mix =
-      if mix.Workload.pop_pct = 100 then 50_000 else default_prefill
+    let prefill_for = prefill_for
 
     let latency_point = 28
     let latency_unit = "cycles"

@@ -9,6 +9,11 @@ val default_value_range : int
 (** Benchmark-loop overhead charged per operation (cycles). *)
 val loop_overhead : int
 
+(** The prefill the simulated backend uses for [mix]: pop-only sweeps get
+    a prefill that outlasts the window so the figure measures sustained
+    pop pressure rather than empty-pop throughput. *)
+val prefill_for : Workload.mix -> int
+
 (** [run maker ~topology ~threads ~duration_cycles ~mix ()] spawns
     [threads] fibers that hammer a fresh stack until the virtual deadline
     and reports throughput (scaled as if the machine ran at 3 GHz). *)
@@ -23,6 +28,21 @@ val run :
   ?seed:int ->
   unit ->
   Measurement.t
+
+(** Like {!run}, but also returning the run's simulator statistics —
+    notably [Sim.stats.schedule_digest], which the figure goldens pin so
+    event-loop refactors are provably schedule-preserving. *)
+val run_with_stats :
+  (module Registry.MAKER) ->
+  topology:Sec_sim.Topology.t ->
+  threads:int ->
+  duration_cycles:int ->
+  mix:Workload.mix ->
+  ?prefill:int ->
+  ?value_range:int ->
+  ?seed:int ->
+  unit ->
+  Measurement.t * Sec_sim.Sim.stats
 
 (** Like {!run}, but returns a per-operation latency histogram in virtual
     cycles (used by the latency-distribution experiment). *)
@@ -51,6 +71,20 @@ val run_sec_stats :
   ?seed:int ->
   unit ->
   Sec_core.Sec_stats.t
+
+(** {!run_sec_stats} plus the run's simulator statistics (same digest use
+    as {!run_with_stats}). *)
+val run_sec_stats_with :
+  config:Sec_core.Config.t ->
+  topology:Sec_sim.Topology.t ->
+  threads:int ->
+  duration_cycles:int ->
+  mix:Workload.mix ->
+  ?prefill:int ->
+  ?value_range:int ->
+  ?seed:int ->
+  unit ->
+  Sec_core.Sec_stats.t * Sec_sim.Sim.stats
 
 (** [run_recorded maker ~topology ~threads ~ops_per_thread ~mix ()] runs
     a fixed number of operations per thread under virtual time, recording

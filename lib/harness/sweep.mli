@@ -1,0 +1,21 @@
+(** Parallel fan-out of independent jobs across a native domain pool
+    (via {!Sec_prim.Native}), with results merged in canonical input
+    order so output is independent of completion order. *)
+
+(** [Domain.recommended_domain_count], floored at 1. *)
+val recommended : unit -> int
+
+(** Clamp a requested pool size into [1 .. recommended ()]. *)
+val clamp_jobs : int -> int
+
+(** The default pool size: {!recommended}. *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f a] applies [f] to every element of [a] on a pool of
+    [jobs] domains (floored at 1, capped at [Array.length a]; the policy
+    clamp to the host's core count is the caller's — see {!clamp_jobs})
+    and returns the results in input order. [~jobs:1] runs serially in
+    the calling domain; for pure [f] the result is bit-identical for
+    every pool size. If any job raises, the pool still drains and the
+    first failing job's exception (in input order) is re-raised. *)
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array

@@ -1,3 +1,14 @@
+(* SplitMix64 (Steele, Lea & Flood 2014).
+
+   The state is one 64-bit word and every draw is a single add + mix.
+   The hot draws ([bits], [int]) write the whole chain out in one body:
+   ocamlopt unboxes let-bound [int64] intermediates whose uses are all
+   arithmetic, so the only boxed value per draw is the one stored back
+   into the mutable state field. The simulator draws from these on its
+   per-access jitter path, so a draw must not allocate a chain of boxed
+   intermediates — and the output sequence is pinned by golden schedule
+   digests, so any change here must be value-identical. *)
+
 type t = { mutable state : int64 }
 
 let golden_gamma = 0x9E3779B97F4A7C15L
@@ -5,7 +16,7 @@ let golden_gamma = 0x9E3779B97F4A7C15L
 let create seed = { state = seed }
 let copy t = { state = t.state }
 
-(* SplitMix64 output function (Steele, Lea & Flood 2014). *)
+(* SplitMix64 output function, used by the cold draws. *)
 let mix z =
   let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
   let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
@@ -15,15 +26,30 @@ let next_int64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix t.state
 
-let bits t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 34)
+let[@inline] bits t =
+  let s = Int64.add t.state golden_gamma in
+  t.state <- s;
+  let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  let z = Int64.(logxor z (shift_right_logical z 31)) in
+  Int64.to_int (Int64.shift_right_logical z 34)
 
-let int t bound =
+let[@inline] int t bound =
   assert (bound > 0);
   if bound = 1 then 0
-  else
+  else begin
+    let s = Int64.add t.state golden_gamma in
+    t.state <- s;
+    let z = Int64.(mul (logxor s (shift_right_logical s 30)) 0xBF58476D1CE4E5B9L) in
+    let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+    let z = Int64.(logxor z (shift_right_logical z 31)) in
     (* Rejection-free: a 60-bit draw modulo [bound] has negligible bias for
-       the bounds used here (all far below 2^30). *)
-    let r = Int64.to_int (Int64.shift_right_logical (next_int64 t) 4) in
-    r mod bound
+       the bounds used here (all far below 2^30). The draw is non-negative,
+       so a power-of-two bound can mask instead of divide — same value,
+       no 64-bit [idiv] (the simulator's jitter path draws with bound 8 on
+       every single event). *)
+    let x = Int64.to_int (Int64.shift_right_logical z 4) in
+    if bound land (bound - 1) = 0 then x land (bound - 1) else x mod bound
+  end
 
 let split t = { state = next_int64 t }

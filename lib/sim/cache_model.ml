@@ -32,7 +32,15 @@ type line = {
 }
 
 type t = {
-  topo : Topology.t;
+  (* The charging constants, copied out of [Topology.costs] at creation:
+     [access] reads several per call, and flat int fields spare it two
+     pointer hops into the topology record per simulated access. *)
+  l1_hit : int;
+  shared_hit : int;
+  local_transfer : int;
+  remote_transfer : int;
+  rmw_extra : int;
+  invalidate_per_socket : int;
   mutable lines : line array;
   mutable used : int;
   (* traffic statistics *)
@@ -44,8 +52,14 @@ type t = {
 let fresh_line () = { owner = -1; owner_socket = -1; sharers = 0; busy_until = 0 }
 
 let create topo =
+  let c = topo.Topology.costs in
   {
-    topo;
+    l1_hit = c.Topology.l1_hit;
+    shared_hit = c.Topology.shared_hit;
+    local_transfer = c.Topology.local_transfer;
+    remote_transfer = c.Topology.remote_transfer;
+    rmw_extra = c.Topology.rmw_extra;
+    invalidate_per_socket = c.Topology.invalidate_per_socket;
     lines = Array.init 1024 (fun _ -> fresh_line ());
     used = 0;
     transfers = 0;
@@ -80,8 +94,9 @@ let popcount =
 (* Returns the accessor's new virtual time after performing [kind] on
    [loc] at time [now]. *)
 let access t ~core ~socket ~loc ~now kind =
-  let c = t.topo.Topology.costs in
-  let line = t.lines.(loc) in
+  (* [loc] came from [new_line], so it is below [t.used] by construction;
+     this lookup runs once per simulated atomic access. *)
+  let line = Array.unsafe_get t.lines loc in
   let bit = 1 lsl socket in
   (* A hit costs [cost] without occupying the line; a miss queues on the
      line and occupies it for the duration of the transfer. *)
@@ -94,17 +109,17 @@ let access t ~core ~socket ~loc ~now kind =
   in
   match kind with
   | Read ->
-      if line.owner = core then hit c.Topology.l1_hit
-      else if line.sharers land bit <> 0 then hit c.Topology.shared_hit
+      if line.owner = core then hit t.l1_hit
+      else if line.sharers land bit <> 0 then hit t.shared_hit
       else begin
         (* Pull a copy from wherever the line lives. *)
         t.transfers <- t.transfers + 1;
         let cost =
           if line.owner_socket = -1 || line.owner_socket = socket then
-            c.Topology.local_transfer
+            t.local_transfer
           else begin
             t.remote_transfers <- t.remote_transfers + 1;
-            c.Topology.remote_transfer
+            t.remote_transfer
           end
         in
         line.sharers <- line.sharers lor bit;
@@ -115,8 +130,8 @@ let access t ~core ~socket ~loc ~now kind =
         miss cost
       end
   | Write | Rmw ->
-      let premium = match kind with Rmw -> c.Topology.rmw_extra | _ -> 0 in
-      if line.owner = core then hit (c.Topology.l1_hit + premium)
+      let premium = match kind with Rmw -> t.rmw_extra | _ -> 0 in
+      if line.owner = core then hit (t.l1_hit + premium)
       else begin
         let holders =
           line.sharers
@@ -124,15 +139,15 @@ let access t ~core ~socket ~loc ~now kind =
         in
         let other_sockets = popcount (holders land lnot bit) in
         let base =
-          if holders = 0 then c.Topology.local_transfer
+          if holders = 0 then t.local_transfer
           else if line.owner_socket = socket || holders land bit <> 0 then begin
             t.transfers <- t.transfers + 1;
-            c.Topology.local_transfer
+            t.local_transfer
           end
           else begin
             t.transfers <- t.transfers + 1;
             t.remote_transfers <- t.remote_transfers + 1;
-            c.Topology.remote_transfer
+            t.remote_transfer
           end
         in
         if other_sockets > 0 then
@@ -140,7 +155,7 @@ let access t ~core ~socket ~loc ~now kind =
         line.owner <- core;
         line.owner_socket <- socket;
         line.sharers <- bit;
-        miss (base + premium + (other_sockets * c.Topology.invalidate_per_socket))
+        miss (base + premium + (other_sockets * t.invalidate_per_socket))
       end
 
 type traffic = { transfers : int; remote_transfers : int; invalidations : int }

@@ -1,30 +1,34 @@
 (* Deterministic discrete-event simulator of a NUMA multicore.
 
-   Each simulated hardware thread is an effects-based fiber with its own
-   virtual clock. Every *atomic* access performs an effect; the handler
-   charges cycles from the {!Cache_model} and re-schedules, always running
-   the fiber with the smallest virtual time next. Shared-memory conflicts
-   are therefore resolved in virtual-time order, and the makespan of a
-   run is [max] over fiber end times — exactly a parallel discrete-event
-   simulation.
+   Each simulated hardware thread is a fiber with its own virtual clock.
+   Every *atomic* access charges cycles from the {!Cache_model} and
+   re-schedules, always running the fiber with the smallest virtual time
+   next. Shared-memory conflicts are therefore resolved in virtual-time
+   order, and the makespan of a run is [max] over fiber end times —
+   exactly a parallel discrete-event simulation.
 
    Determinism: a fixed seed yields an identical schedule, identical final
    state and identical statistics. The optional [jitter] parameter adds
    seeded random delays to accesses, which perturbs interleavings — the
-   test suite sweeps seeds to explore schedules.
+   test suite sweeps seeds to explore schedules. [stats.schedule_digest]
+   folds every rescheduling decision, so "identical schedule" is a
+   checkable claim, not an assumption.
+
+   Flat core: per-fiber state (clock, core, socket, RNG, parked
+   continuation, unstarted body) lives in struct-of-arrays indexed by
+   [fid + Heap.fid_bias], and the ready queue is a keys-only binary heap
+   of packed [(time, fid)] ints — the fiber index rides in the key's low
+   bits, so scheduling touches no boxed payloads at all. The hot path
+   performs no effect: {!Sim_effects.dispatch} routes primitives to
+   direct functions that charge the access inline and only perform the
+   private [Switch] effect when an earlier fiber must actually run.
+   The legacy effect vocabulary is still handled (for {!Explore}-style
+   callers and the analysis hooks that perform [Fiber_id]), just off the
+   hot path.
 
    IMPORTANT implementation invariant: every handler branch, [schedule]
    and [retc] must end in a TAIL call ([continue]/[schedule]/[run_fiber]);
    this is what keeps the stack flat across millions of context switches. *)
-
-type fiber = {
-  fid : int; (* hardware-thread id; -2 for the main fiber *)
-  core : int; (* physical core in the cache model (SMT siblings share) *)
-  socket : int;
-  mutable time : int;
-  rng : Sec_prim.Rng.t;
-  is_main : bool;
-}
 
 open Sim_effects
 
@@ -43,125 +47,185 @@ exception Stalled
 
 module Heap = struct
   (* The (time, fid) key packed into one unboxed int —
-     [time * 2^fid_bits + (fid + fid_bias)] — beside a same-index
-     payload array. A push happens at every scheduling event, and the
-     seed's boxed {time; fid; payload} entries cost a minor-heap
-     allocation per push plus a pointer chase per comparison; packed
-     keys allocate nothing, order with a single integer test (the
-     packing is order-isomorphic to the lexicographic pair), and sifts
-     move a hole instead of swapping, one key/payload move per level.
-     Exact while [0 <= fid + fid_bias < 2^fid_bits] and
-     [time < 2^(62 - fid_bits)] — two million fibers and ~10^12 virtual
-     cycles, both far past any simulated run; [pack] rejects anything
-     outside. *)
+     [time * 2^fid_bits + (fid + fid_bias)]. The key *is* the whole
+     entry: its low bits identify the fiber's slot in the scheduler's
+     flat arrays, so the heap is a bare int array — a push allocates
+     nothing, ordering is a single integer test (the packing is
+     order-isomorphic to the lexicographic pair) and sifts move a hole
+     instead of swapping, one key move per level. Exact while
+     [0 <= fid + fid_bias < 2^fid_bits] and [time < 2^(62 - fid_bits)]
+     — two million fibers and ~10^12 virtual cycles, both far past any
+     simulated run; [pack] rejects anything outside. *)
   let fid_bits = 21
   let fid_bias = 2 (* the main pseudo-fiber runs as fid -2 *)
+  let slot_mask = (1 lsl fid_bits) - 1
 
-  let pack time fid =
+  let[@inline] pack time fid =
     let f = fid + fid_bias in
     if f lsr fid_bits <> 0 || time lsr (62 - fid_bits) <> 0 then
       invalid_arg "Sim.Heap: time or fiber id exceeds the packing range";
     (time lsl fid_bits) lor f
 
-  type 'a t = {
-    mutable keys : int array;
-    mutable data : 'a array;
-    mutable size : int;
-  }
+  (* Per-event repack of an already-validated fiber's clock: the fid was
+     range-checked when the fiber was spawned, and the virtual clock
+     cannot reach 2^41 cycles within any feasible event budget, so the
+     scheduler's inner loop skips the two range tests. *)
+  let[@inline] pack_unchecked time fid = (time lsl fid_bits) lor (fid + fid_bias)
 
-  let create () = { keys = [||]; data = [||]; size = 0 }
+  type t = { mutable keys : int array; mutable size : int }
 
-  let push t time fid payload =
-    if t.size = Array.length t.data then begin
-      let cap = max 16 (2 * t.size) in
-      let keys = Array.make cap 0 in
-      let data = Array.make cap payload in
+  let create () = { keys = [||]; size = 0 }
+
+  (* Indices below [size] are always in bounds — [size] only grows inside
+     [push] right after the capacity check — so the sift loops use
+     unchecked accesses; this heap sits on the per-event hot path. *)
+  let push t key =
+    if t.size = Array.length t.keys then begin
+      let keys = Array.make (max 16 (2 * t.size)) 0 in
       Array.blit t.keys 0 keys 0 t.size;
-      Array.blit t.data 0 data 0 t.size;
-      t.keys <- keys;
-      t.data <- data
+      t.keys <- keys
     end;
-    let key = pack time fid in
     (* sift the new hole up, then write once *)
+    let a = t.keys in
     let i = ref t.size in
     t.size <- t.size + 1;
     let sifting = ref true in
     while !sifting && !i > 0 do
       let parent = (!i - 1) / 2 in
-      if key < t.keys.(parent) then begin
-        t.keys.(!i) <- t.keys.(parent);
-        t.data.(!i) <- t.data.(parent);
+      if key < Array.unsafe_get a parent then begin
+        Array.unsafe_set a !i (Array.unsafe_get a parent);
         i := parent
       end
       else sifting := false
     done;
-    t.keys.(!i) <- key;
-    t.data.(!i) <- payload
+    Array.unsafe_set a !i key
 
-  (* The packed key of the earliest entry. *)
-  let min_key t = if t.size = 0 then None else Some t.keys.(0)
+  (* The packed key of the earliest entry; -1 when empty (every real key
+     is non-negative, so no option box on the per-access fast path). *)
+  let[@inline] min_key t =
+    if t.size = 0 then -1 else Array.unsafe_get t.keys 0
+
+  (* Sift a root-shaped hole down past children smaller than [key], then
+     drop [key] in — shared by [pop] (re-inserting the detached last
+     element) and [replace_min]. *)
+  let[@inline] sift_down a n key =
+    let i = ref 0 in
+    let sifting = ref true in
+    while !sifting do
+      let l = (2 * !i) + 1 in
+      if l >= n then sifting := false
+      else begin
+        let r = l + 1 in
+        let c =
+          if r < n && Array.unsafe_get a r < Array.unsafe_get a l then r else l
+        in
+        if Array.unsafe_get a c < key then begin
+          Array.unsafe_set a !i (Array.unsafe_get a c);
+          i := c
+        end
+        else sifting := false
+      end
+    done;
+    Array.unsafe_set a !i key
 
   let pop t =
-    if t.size = 0 then None
+    if t.size = 0 then -1
     else begin
-      let top = t.data.(0) in
+      let a = t.keys in
+      let top = Array.unsafe_get a 0 in
       t.size <- t.size - 1;
       let n = t.size in
-      if n > 0 then begin
-        (* sift a root hole down past smaller children, then drop the
-           detached last entry in; this also overwrites the popped
-           payload's slot, so the heap does not pin a dead
-           continuation. *)
-        let key = t.keys.(n) in
-        let last = t.data.(n) in
-        let i = ref 0 in
-        let sifting = ref true in
-        while !sifting do
-          let l = (2 * !i) + 1 in
-          if l >= n then sifting := false
-          else begin
-            let r = l + 1 in
-            let c = if r < n && t.keys.(r) < t.keys.(l) then r else l in
-            if t.keys.(c) < key then begin
-              t.keys.(!i) <- t.keys.(c);
-              t.data.(!i) <- t.data.(c);
-              i := c
-            end
-            else sifting := false
-          end
-        done;
-        t.keys.(!i) <- key;
-        t.data.(!i) <- last
-      end;
-      Some top
+      if n > 0 then sift_down a n (Array.unsafe_get a n);
+      top
     end
+
+  (* [push] + [pop] fused: replace the root with [key] and return the old
+     root. Only valid when the heap is non-empty and [key] is >= the
+     current min — exactly the situation of a fiber parking itself in
+     favour of an earlier one, which is the common case on contended
+     workloads (one sift instead of two). *)
+  let replace_min t key =
+    let a = t.keys in
+    let top = Array.unsafe_get a 0 in
+    sift_down a t.size key;
+    top
 end
 
 (* ------------------------------------------------------------------ *)
 
-type pending =
-  | Resume of fiber * (unit, unit) Effect.Deep.continuation
-  | Start of fiber * (unit -> unit)
+(* Scheduling effects private to this loop. [Switch] is performed by the
+   dispatch fast path only when an earlier fiber must run; [Freeze] drops
+   the performer (suspension adversary); [Await] parks the joiner. All
+   three are constant constructors, so performing them allocates no
+   payload, and their handler results are preallocated in [ctx]. *)
+type _ Effect.t +=
+  | Switch : unit Effect.t
+  | Freeze : unit Effect.t
+  | Await : unit Effect.t
+
+type handler_fn = ((unit, unit) Effect.Deep.continuation -> unit) option
 
 type ctx = {
   topo : Topology.t;
   cache : Cache_model.t;
-  heap : pending Heap.t;
+  heap : Heap.t;
   det : Sec_analysis.Race_detector.t option;
   jitter : int;
   sched_rng : Sec_prim.Rng.t;
+  (* Flat per-fiber state, indexed by slot = fid + Heap.fid_bias; the
+     main pseudo-fiber (fid -2) is slot 0. One array per field instead
+     of an array of records: the hot fields ([f_time], [f_core],
+     [f_socket]) pack densely and nothing is boxed per fiber. *)
+  f_time : int array;
+  f_core : int array;
+  f_socket : int array;
+  f_rng : Sec_prim.Rng.t array;
+  f_kont : (unit, unit) Effect.Deep.continuation array;
+      (* parked continuation of a switched-out fiber. Unboxed (no option):
+         [resume] consults [f_body] first, so a slot's continuation is
+         only ever read after that fiber actually parked and wrote one.
+         Unused slots hold a shared dead placeholder, and a resumed slot
+         is left stale rather than cleared — fiber ids are never reused
+         within a run and a *resumed* one-shot continuation pins nothing,
+         so the extra write would buy nothing. *)
+  f_body : (unit -> unit) option array; (* not-yet-started fiber bodies *)
+  mutable current : int; (* slot of the fiber executing right now *)
   mutable next_core : int;
   mutable live_workers : int;
-  mutable joiner : (fiber * (unit, unit) Effect.Deep.continuation) option;
+  mutable joiner : int; (* slot parked in [await_all], or -1 *)
+  mutable joiner_k : (unit, unit) Effect.Deep.continuation option;
   mutable max_end_time : int;
   mutable events : int;
-  alloc_base : int; (* {!Sim_effects.alloc_tally} at run start *)
-  (* Suspension adversary: freeze fiber [fid] just before its [n]th
-     atomic access (see {!Explore.classify} for the bounded-sweep
-     version; here a single point suffices for regression pinning). *)
-  suspend : (int * int) option;
+  (* FNV-style fold over every (new_time, fid) rescheduling decision, in
+     order. Two runs with equal digests took the same schedule, so the
+     digest is a compact golden for "the refactor did not change one
+     scheduling decision" — far stronger than comparing final stats. *)
+  mutable digest : int;
+  (* Packed (time, fid) key of the current fiber, written by [advance]
+     whenever the ready heap is non-empty — so [park] reuses it instead
+     of re-packing. Only meaningful immediately after [advance] returns
+     [true]. *)
+  mutable self_key : int;
+  (* Cached [Heap.min_key ctx.heap], maintained at every heap mutation:
+     [advance] consults it once per event, and a field read beats the
+     heap's record/array chain there. -1 when the heap is empty. *)
+  mutable heap_min : int;
+  alloc_base : int; (* domain-local {!Sim_effects.alloc_tally} at run start *)
+  (* Suspension adversary: freeze fiber [suspend_victim] just before its
+     [suspend_after]th atomic access (see {!Explore.classify} for the
+     bounded-sweep version; here a single point suffices for regression
+     pinning). [min_int] as the victim means "nobody" — a plain compare
+     on the fast path instead of an option match. *)
+  suspend_victim : int;
+  suspend_after : int;
   mutable suspend_seen : int;
-  max_events : int option; (* raise [Stalled] past this many events *)
+  max_events : int; (* raise [Stalled] past this many events; [max_int] = no cap *)
+  (* Preallocated [effc] results for the private effects, so even the
+     switch slow path allocates nothing per perform. Set right after the
+     record is built — they close over it. *)
+  mutable switch_h : handler_fn;
+  mutable freeze_h : handler_fn;
+  mutable await_h : handler_fn;
 }
 
 type stats = {
@@ -170,142 +234,205 @@ type stats = {
   traffic : Cache_model.traffic;
   fibers : int;
   allocs : int;  (** fresh hot-path allocations ([P.note_alloc] calls) *)
+  schedule_digest : int;  (** order-sensitive hash of every (time, fid) reschedule *)
 }
 
-let key_of fiber = Heap.pack fiber.time fiber.fid
+let[@inline] digest_mix d time fid =
+  (d * 0x100000001B3) lxor ((time lsl 7) + fid + 2)
 
-let rec schedule ctx =
-  match Heap.pop ctx.heap with
-  | Some (Resume (_, k)) -> Effect.Deep.continue k ()
-  | Some (Start (f, body)) -> run_fiber ctx f body
-  | None -> (
-      match ctx.joiner with
-      | Some (f, k) when ctx.live_workers = 0 ->
-          ctx.joiner <- None;
-          f.time <- max f.time ctx.max_end_time;
-          (match ctx.det with
-          | Some d -> Sec_analysis.Race_detector.on_join d ~fiber:f.fid
-          | None -> ());
-          Effect.Deep.continue k ()
-      | Some _ -> raise Deadlock
-      | None -> () (* fully drained: unwind to [run] *))
+let[@inline] fid_of slot = slot - Heap.fid_bias
 
-(* Advance [fiber] to [new_time] and hand control to the globally earliest
-   fiber. Fast path: if [fiber] is still earliest, keep running it without
-   touching the heap. *)
-and reschedule ctx fiber new_time k =
+(* Heavy-tailed jitter: small perturbations alone cannot reorder fibers
+   that queue on a busy line (the service gap absorbs them), so
+   occasionally insert a delay long enough to swap turns. Out of line so
+   the jitter-free [advance] body stays small. *)
+let[@inline never] jitter_extra ctx =
+  let extra = Sec_prim.Rng.int ctx.sched_rng (ctx.jitter + 1) in
+  if Sec_prim.Rng.int ctx.sched_rng 8 = 0 then
+    extra + Sec_prim.Rng.int ctx.sched_rng ((8 * ctx.jitter) + 1)
+  else extra
+
+(* Advance the current fiber's clock to [new_time] (plus seeded jitter),
+   account the scheduling event, and report whether an earlier fiber is
+   now due — the one decision point every scheduling primitive funnels
+   through, so digest, event count and Stalled policing stay uniform. *)
+let[@inline] advance ctx new_time =
+  let slot = ctx.current in
   let new_time =
-    if ctx.jitter > 0 then begin
-      (* Heavy-tailed jitter: small perturbations alone cannot reorder
-         fibers that queue on a busy line (the service gap absorbs them),
-         so occasionally insert a delay long enough to swap turns. *)
-      let extra = Sec_prim.Rng.int ctx.sched_rng (ctx.jitter + 1) in
-      let extra =
-        if Sec_prim.Rng.int ctx.sched_rng 8 = 0 then
-          extra + Sec_prim.Rng.int ctx.sched_rng ((8 * ctx.jitter) + 1)
-        else extra
-      in
-      new_time + extra
-    end
-    else new_time
+    if ctx.jitter > 0 then new_time + jitter_extra ctx else new_time
   in
-  fiber.time <- new_time;
+  Array.unsafe_set ctx.f_time slot new_time;
   ctx.events <- ctx.events + 1;
-  (match ctx.max_events with
-  | Some m when ctx.events > m -> raise Stalled
-  | _ -> ());
-  match Heap.min_key ctx.heap with
-  | Some key when key < key_of fiber ->
-      Heap.push ctx.heap fiber.time fiber.fid (Resume (fiber, k));
-      schedule ctx
-  | Some _ | None -> Effect.Deep.continue k ()
+  ctx.digest <- digest_mix ctx.digest new_time (fid_of slot);
+  if ctx.events > ctx.max_events then raise Stalled;
+  let mk = ctx.heap_min in
+  mk >= 0
+  &&
+  let self = Heap.pack_unchecked new_time (fid_of slot) in
+  ctx.self_key <- self;
+  mk < self
 
-and run_fiber ctx fiber body =
+(* Suspension adversary: [true] means the current access never executes
+   and the performer is dropped. *)
+let[@inline] check_freeze ctx =
+  fid_of ctx.current = ctx.suspend_victim
+  && begin
+       ctx.suspend_seen <- ctx.suspend_seen + 1;
+       ctx.suspend_seen = ctx.suspend_after
+     end
+
+let[@inline] access_time ctx loc kind =
+  let slot = ctx.current in
+  Cache_model.access ctx.cache
+    ~core:(Array.unsafe_get ctx.f_core slot)
+    ~socket:(Array.unsafe_get ctx.f_socket slot)
+    ~loc
+    ~now:(Array.unsafe_get ctx.f_time slot)
+    kind
+
+let do_spawn ctx body =
+  let fid = ctx.next_core in
+  ctx.next_core <- fid + 1;
+  let core = Topology.core_of ctx.topo fid in (* raises past the limit *)
+  let socket = Topology.socket_of ctx.topo fid in
+  let slot = fid + Heap.fid_bias in
+  ctx.f_core.(slot) <- core;
+  ctx.f_socket.(slot) <- socket;
+  ctx.f_time.(slot) <- ctx.f_time.(ctx.current);
+  ctx.f_rng.(slot) <- Sec_prim.Rng.split ctx.sched_rng;
+  ctx.f_body.(slot) <- Some body;
+  ctx.live_workers <- ctx.live_workers + 1;
+  (match ctx.det with
+  | Some d ->
+      Sec_analysis.Race_detector.on_spawn d ~parent:(fid_of ctx.current)
+        ~child:fid
+  | None -> ());
+  Heap.push ctx.heap (Heap.pack ctx.f_time.(slot) fid);
+  ctx.heap_min <- Heap.min_key ctx.heap
+
+(* Hand control to the fiber named by [key]'s low bits: start its
+   not-yet-run body, or resume its parked continuation. The body check
+   comes first so the continuation slot needs no option box — [None]
+   here means the fiber has parked before and [f_kont] holds it. *)
+let rec resume ctx key =
+  let slot = key land Heap.slot_mask in
+  ctx.current <- slot;
+  match Array.unsafe_get ctx.f_body slot with
+  | None -> Effect.Deep.continue (Array.unsafe_get ctx.f_kont slot) ()
+  | Some body ->
+      Array.unsafe_set ctx.f_body slot None;
+      run_fiber ctx body
+
+and schedule ctx =
+  let key = Heap.pop ctx.heap in
+  ctx.heap_min <- Heap.min_key ctx.heap;
+  if key >= 0 then resume ctx key
+  else
+    match ctx.joiner_k with
+    | Some k when ctx.live_workers = 0 ->
+        let slot = ctx.joiner in
+        ctx.joiner_k <- None;
+        ctx.joiner <- -1;
+        ctx.f_time.(slot) <- max ctx.f_time.(slot) ctx.max_end_time;
+        (match ctx.det with
+        | Some d -> Sec_analysis.Race_detector.on_join d ~fiber:(fid_of slot)
+        | None -> ());
+        ctx.current <- slot;
+        Effect.Deep.continue k ()
+    | Some _ -> raise Deadlock
+    | None -> () (* fully drained: unwind to [run] *)
+
+(* Park the current fiber and hand control to the globally earliest one.
+   Only reached when [advance] just returned [true], so [ctx.self_key]
+   holds the parker's packed key, the heap is non-empty and its min is
+   strictly earlier — exactly the precondition of [Heap.replace_min]. *)
+and park ctx k =
+  Array.unsafe_set ctx.f_kont ctx.current k;
+  let key = Heap.replace_min ctx.heap ctx.self_key in
+  ctx.heap_min <- Heap.min_key ctx.heap;
+  resume ctx key
+
+(* The suspension adversary dropped the current fiber: it stops forever,
+   no longer counts as live, and its peers run on. *)
+and on_freeze ctx =
+  let slot = ctx.current in
+  ctx.max_end_time <- max ctx.max_end_time ctx.f_time.(slot);
+  if slot <> 0 then ctx.live_workers <- ctx.live_workers - 1;
+  schedule ctx
+
+and on_return ctx =
+  let slot = ctx.current in
+  ctx.max_end_time <- max ctx.max_end_time ctx.f_time.(slot);
+  if slot <> 0 then ctx.live_workers <- ctx.live_workers - 1;
+  (match ctx.det with
+  | Some d -> Sec_analysis.Race_detector.on_exit d ~fiber:(fid_of slot)
+  | None -> ());
+  Sim_effects.Reclaim.on_fiber_exit (fid_of slot);
+  Sim_effects.Progress.on_fiber_exit (fid_of slot);
+  schedule ctx
+
+and legacy_advance ctx new_time k =
+  if advance ctx new_time then park ctx k else Effect.Deep.continue k ()
+
+and run_fiber ctx body =
   let open Effect.Deep in
   match_with body ()
     {
-      retc =
-        (fun () ->
-          ctx.max_end_time <- max ctx.max_end_time fiber.time;
-          if not fiber.is_main then ctx.live_workers <- ctx.live_workers - 1;
-          (match ctx.det with
-          | Some d -> Sec_analysis.Race_detector.on_exit d ~fiber:fiber.fid
-          | None -> ());
-          Sim_effects.Reclaim.on_fiber_exit fiber.fid;
-          Sim_effects.Progress.on_fiber_exit fiber.fid;
-          schedule ctx);
+      retc = (fun () -> on_return ctx);
       exnc = raise;
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
+          | Switch -> (ctx.switch_h : ((a, _) continuation -> _) option)
+          | Freeze -> (ctx.freeze_h : ((a, _) continuation -> _) option)
+          | Await -> (ctx.await_h : ((a, _) continuation -> _) option)
+          (* Legacy effect vocabulary: cold under this loop (the
+             dispatch fast path bypasses it) but still honoured, for
+             analysis hooks that perform [Fiber_id] and for any caller
+             performing {!Sim_effects} effects directly. *)
           | Access (loc, kind) ->
               Some
                 (fun (k : (a, _) continuation) ->
-                  let freeze =
-                    match ctx.suspend with
-                    | Some (victim, after) when fiber.fid = victim ->
-                        ctx.suspend_seen <- ctx.suspend_seen + 1;
-                        ctx.suspend_seen = after
-                    | _ -> false
-                  in
-                  if freeze then begin
-                    (* Suspension adversary: the victim stops forever
-                       just before the access executes. Its continuation
-                       is dropped; it no longer counts as a live worker,
-                       so [await_all] waits only for its peers. *)
-                    ctx.max_end_time <- max ctx.max_end_time fiber.time;
-                    if not fiber.is_main then
-                      ctx.live_workers <- ctx.live_workers - 1;
-                    schedule ctx
-                  end
+                  if check_freeze ctx then on_freeze ctx
                   else begin
-                    Sim_effects.Progress.on_event fiber.fid;
-                    let new_time =
-                      Cache_model.access ctx.cache ~core:fiber.core
-                        ~socket:fiber.socket ~loc ~now:fiber.time kind
-                    in
-                    reschedule ctx fiber new_time k
+                    Sim_effects.Progress.on_event (fid_of ctx.current);
+                    legacy_advance ctx (access_time ctx loc kind) k
                   end)
-          | Relax n -> Some (fun k -> reschedule ctx fiber (fiber.time + max 1 n) k)
+          | Relax n ->
+              Some
+                (fun k ->
+                  legacy_advance ctx
+                    (ctx.f_time.(ctx.current) + max 1 n)
+                    k)
           | Yield ->
               Some
                 (fun k ->
-                  reschedule ctx fiber
-                    (fiber.time + ctx.topo.Topology.costs.yield_quantum)
+                  legacy_advance ctx
+                    (ctx.f_time.(ctx.current)
+                    + ctx.topo.Topology.costs.yield_quantum)
                     k)
           | New_loc ->
               Some
                 (fun k ->
                   continue k
-                    (Cache_model.new_line ctx.cache ~core:fiber.core
-                       ~socket:fiber.socket))
-          | Now -> Some (fun k -> continue k (Int64.of_int fiber.time))
-          | Rand_int n -> Some (fun k -> continue k (Sec_prim.Rng.int fiber.rng n))
-          | Rand_bits -> Some (fun k -> continue k (Sec_prim.Rng.bits fiber.rng))
-          | Fiber_id -> Some (fun k -> continue k fiber.fid)
+                    (Cache_model.new_line ctx.cache
+                       ~core:ctx.f_core.(ctx.current)
+                       ~socket:ctx.f_socket.(ctx.current)))
+          | Now -> Some (fun k -> continue k (Int64.of_int ctx.f_time.(ctx.current)))
+          | Rand_int n ->
+              Some
+                (fun k ->
+                  continue k (Sec_prim.Rng.int ctx.f_rng.(ctx.current) n))
+          | Rand_bits ->
+              Some
+                (fun k ->
+                  continue k (Sec_prim.Rng.bits ctx.f_rng.(ctx.current)))
+          | Fiber_id -> Some (fun k -> continue k (fid_of ctx.current))
           | Num_workers -> Some (fun k -> continue k ctx.next_core)
           | Spawn body ->
               Some
                 (fun k ->
-                  let fid = ctx.next_core in
-                  ctx.next_core <- fid + 1;
-                  let worker =
-                    {
-                      fid;
-                      core = Topology.core_of ctx.topo fid;
-                      socket = Topology.socket_of ctx.topo fid;
-                      time = fiber.time;
-                      rng = Sec_prim.Rng.split ctx.sched_rng;
-                      is_main = false;
-                    }
-                  in
-                  ctx.live_workers <- ctx.live_workers + 1;
-                  (match ctx.det with
-                  | Some d ->
-                      Sec_analysis.Race_detector.on_spawn d ~parent:fiber.fid
-                        ~child:fid
-                  | None -> ());
-                  Heap.push ctx.heap worker.time worker.fid (Start (worker, body));
+                  do_spawn ctx body;
                   continue k ())
           | Await_all ->
               Some
@@ -313,22 +440,95 @@ and run_fiber ctx fiber body =
                   if ctx.live_workers = 0 then begin
                     (match ctx.det with
                     | Some d ->
-                        Sec_analysis.Race_detector.on_join d ~fiber:fiber.fid
+                        Sec_analysis.Race_detector.on_join d
+                          ~fiber:(fid_of ctx.current)
                     | None -> ());
                     continue k ()
                   end
                   else begin
-                    ctx.joiner <- Some (fiber, k);
+                    ctx.joiner <- ctx.current;
+                    ctx.joiner_k <- Some k;
                     schedule ctx
                   end)
           | _ -> None)
     }
 
+(* The direct-call implementations {!Sim_effects.Prim} dispatches to for
+   the duration of a run. A non-scheduling primitive is a plain read; a
+   scheduling one charges its cycles inline and performs an effect only
+   when control must actually move. *)
+let dispatch_of ctx =
+  {
+    d_new_loc =
+      (fun () ->
+        Cache_model.new_line ctx.cache ~core:ctx.f_core.(ctx.current)
+          ~socket:ctx.f_socket.(ctx.current));
+    d_access =
+      (fun loc kind ->
+        if check_freeze ctx then Effect.perform Freeze
+        else begin
+          Sim_effects.Progress.on_event (fid_of ctx.current);
+          if advance ctx (access_time ctx loc kind) then Effect.perform Switch
+        end);
+    d_relax =
+      (fun n ->
+        if advance ctx (Array.unsafe_get ctx.f_time ctx.current + max 1 n)
+        then Effect.perform Switch);
+    d_yield =
+      (fun () ->
+        if
+          advance ctx
+            (Array.unsafe_get ctx.f_time ctx.current
+            + ctx.topo.Topology.costs.yield_quantum)
+        then Effect.perform Switch);
+    d_now = (fun () -> Int64.of_int (Array.unsafe_get ctx.f_time ctx.current));
+    d_now_int = (fun () -> Array.unsafe_get ctx.f_time ctx.current);
+    d_rand_int =
+      (fun n -> Sec_prim.Rng.int (Array.unsafe_get ctx.f_rng ctx.current) n);
+    d_rand_bits =
+      (fun () -> Sec_prim.Rng.bits (Array.unsafe_get ctx.f_rng ctx.current));
+    d_spawn = (fun body -> do_spawn ctx body);
+    d_await_all =
+      (fun () ->
+        if ctx.live_workers = 0 then
+          match ctx.det with
+          | Some d ->
+              Sec_analysis.Race_detector.on_join d ~fiber:(fid_of ctx.current)
+          | None -> ()
+        else Effect.perform Await);
+    d_fiber_id = (fun () -> fid_of ctx.current);
+    d_num_workers = (fun () -> ctx.next_core);
+  }
+
 (* ------------------------------------------------------------------ *)
 (* Public API                                                           *)
 
+(* A dead one-shot continuation to fill [f_kont]'s never-read slots:
+   captured from a throwaway fiber that performs [Switch] once. It is
+   never resumed, so the placeholder costs one tiny fiber per run. *)
+let dead_kont () =
+  let cell = ref None in
+  Effect.Deep.match_with
+    (fun () -> Effect.perform Switch)
+    ()
+    {
+      retc = Fun.id;
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Switch ->
+              Some
+                (fun (k : (a, _) Effect.Deep.continuation) ->
+                  cell := Some (k : (unit, unit) Effect.Deep.continuation))
+          | _ -> None);
+    };
+  match !cell with Some k -> k | None -> assert false
+
 let run ?(seed = 42) ?(jitter = 0) ?detector ?reclaim_checker ?progress
     ?suspend ?max_events ~topology f =
+  let nslots = Topology.max_threads topology + Heap.fid_bias in
+  let main_rng = Sec_prim.Rng.create (Int64.of_int (seed + 1)) in
   let ctx =
     {
       topo = topology;
@@ -337,29 +537,43 @@ let run ?(seed = 42) ?(jitter = 0) ?detector ?reclaim_checker ?progress
       det = detector;
       jitter;
       sched_rng = Sec_prim.Rng.create (Int64.of_int seed);
+      f_time = Array.make nslots 0;
+      f_core = Array.make nslots 0;
+      f_socket = Array.make nslots 0;
+      f_rng = Array.make nslots main_rng;
+      f_kont = Array.make nslots (dead_kont ());
+      f_body = Array.make nslots None;
+      current = 0;
       next_core = 0;
       live_workers = 0;
-      joiner = None;
+      joiner = -1;
+      joiner_k = None;
       max_end_time = 0;
       events = 0;
-      alloc_base = !Sim_effects.alloc_tally;
-      suspend;
+      digest = 0;
+      self_key = 0;
+      heap_min = -1;
+      alloc_base = !(Sim_effects.alloc_tally ());
+      suspend_victim = (match suspend with Some (v, _) -> v | None -> min_int);
+      suspend_after = (match suspend with Some (_, n) -> n | None -> 0);
       suspend_seen = 0;
-      max_events;
+      max_events = (match max_events with Some m -> m | None -> max_int);
+      switch_h = None;
+      freeze_h = None;
+      await_h = None;
     }
   in
+  ctx.f_core.(0) <- -2 (* the main pseudo-fiber's off-grid core *);
+  ctx.switch_h <- Some (fun k -> park ctx k);
+  ctx.freeze_h <- Some (fun _k -> on_freeze ctx);
+  ctx.await_h <-
+    Some
+      (fun k ->
+        ctx.joiner <- ctx.current;
+        ctx.joiner_k <- Some k;
+        schedule ctx);
   let result = ref None in
-  let main =
-    {
-      fid = -2;
-      core = -2;
-      socket = 0;
-      time = 0;
-      rng = Sec_prim.Rng.create (Int64.of_int (seed + 1));
-      is_main = true;
-    }
-  in
-  let start () = run_fiber ctx main (fun () -> result := Some (f ())) in
+  let start () = run_fiber ctx (fun () -> result := Some (f ())) in
   let start =
     match reclaim_checker with
     | Some c -> fun () -> Sec_analysis.Reclaim_checker.with_checker c start
@@ -370,9 +584,13 @@ let run ?(seed = 42) ?(jitter = 0) ?detector ?reclaim_checker ?progress
     | Some m -> fun () -> Sec_analysis.Progress_monitor.with_monitor m start
     | None -> start
   in
-  (match detector with
-  | Some d -> Sec_analysis.Race_detector.with_detector d start
-  | None -> start ());
+  let saved = Sim_effects.install (dispatch_of ctx) in
+  Fun.protect
+    ~finally:(fun () -> Sim_effects.restore saved)
+    (fun () ->
+      match detector with
+      | Some d -> Sec_analysis.Race_detector.with_detector d start
+      | None -> start ());
   match !result with
   | None -> raise Deadlock
   | Some r ->
@@ -382,12 +600,17 @@ let run ?(seed = 42) ?(jitter = 0) ?detector ?reclaim_checker ?progress
           events = ctx.events;
           traffic = Cache_model.traffic ctx.cache;
           fibers = ctx.next_core;
-          allocs = !Sim_effects.alloc_tally - ctx.alloc_base;
+          allocs = !(Sim_effects.alloc_tally ()) - ctx.alloc_base;
+          schedule_digest = ctx.digest land max_int;
         } )
 
-let spawn body = Effect.perform (Spawn body)
-let await_all () = Effect.perform Await_all
-let fiber_id () = Effect.perform Fiber_id
+(* Routed through the dispatch so they hit the in-run fast path; outside
+   a run the default dispatch performs the legacy effects, preserving
+   [Effect.Unhandled] (and {!Explore}'s handlers see exactly what they
+   always saw). *)
+let spawn body = (Sim_effects.dispatch ()).d_spawn body
+let await_all () = (Sim_effects.dispatch ()).d_await_all ()
+let fiber_id () = (Sim_effects.dispatch ()).d_fiber_id ()
 
 (* ------------------------------------------------------------------ *)
 

@@ -25,7 +25,23 @@ type stats = {
           [P.note_alloc] in instrumented algorithm code. Counted without
           a scheduling event, so instrumentation never perturbs the
           schedule; magazine-recycled nodes do not count. *)
+  schedule_digest : int;
+      (** order-sensitive FNV-style hash folded over every (time, fid)
+          rescheduling decision the event loop made, in order. Equal
+          digests mean the two runs took exactly the same schedule; the
+          harness pins figure-cell digests as goldens so event-loop
+          refactors are provably schedule-preserving. Non-negative. *)
 }
+
+(** Internals of the scheduler's event heap, exposed for tests: the
+    (time, fid) key packed into one unboxed int. [pack time fid] raises
+    [Invalid_argument] when [fid + fid_bias] does not fit in [fid_bits]
+    bits or [time] exceeds the remaining 62-bit range. *)
+module Heap : sig
+  val fid_bits : int
+  val fid_bias : int
+  val pack : int -> int -> int
+end
 
 (** [run ~topology f] executes [f] as the main fiber of a fresh simulated
     machine and returns its result plus run statistics. Deterministic for

@@ -24,13 +24,82 @@ type _ Effect.t +=
   | Num_workers : int Effect.t
 
 (* Fresh hot-path allocations ([Prim.note_alloc] calls). A plain counter
-   rather than an effect: simulations execute one at a time on a single
-   host thread, so {!Sim.run} brackets a run with before/after reads and
-   reports the delta — same determinism, no per-allocation
-   perform/resume round-trip, and (like an accounting-only effect) no
-   scheduling point, so instrumenting an allocation site never perturbs
-   schedules. *)
-let alloc_tally = ref 0
+   rather than an effect: each domain executes one simulation at a time,
+   so {!Sim.run} brackets a run with before/after reads and reports the
+   delta — same determinism, no per-allocation perform/resume
+   round-trip, and (like an accounting-only effect) no scheduling point,
+   so instrumenting an allocation site never perturbs schedules. The
+   counter is domain-local so concurrent simulations on a sweep pool
+   ({!Sec_harness.Sweep}) keep exact per-run counts. *)
+let alloc_key = Domain.DLS.new_key (fun () -> ref 0)
+let alloc_tally () = Domain.DLS.get alloc_key
+
+(* ------------------------------------------------------------------ *)
+(* Primitive dispatch.
+
+   {!Prim} routes every primitive through this domain-local record
+   instead of performing an effect directly. The default implementation
+   performs the legacy effects above, so {!Explore} (and any other
+   effect-based scheduler) works unchanged; {!Sim} installs direct
+   functions for the duration of a run, turning the hot path — an atomic
+   access that does not switch fibers — into a plain call with no effect
+   round-trip and no [Access]-payload allocation. Only the rare access
+   that must actually hand control to an earlier fiber performs an
+   effect ({!Sim}'s private [Switch]).
+
+   The record lives behind a per-domain ref so concurrent simulations on
+   a {!Sec_harness.Sweep} pool each see their own installation; outside
+   any run the default applies and a primitive raises
+   [Effect.Unhandled], exactly as before. *)
+
+type dispatch = {
+  d_new_loc : unit -> int;
+  d_access : int -> Cache_model.kind -> unit;
+  d_relax : int -> unit;
+  d_yield : unit -> unit;
+  d_now : unit -> int64;
+  d_now_int : unit -> int; (* [d_now] without the [int64] box: the virtual
+                              clock is an [int], and the per-op deadline
+                              check in {!Sec_harness.Runner} is hot *)
+  d_rand_int : int -> int;
+  d_rand_bits : unit -> int;
+  d_spawn : (unit -> unit) -> unit;
+  d_await_all : unit -> unit;
+  d_fiber_id : unit -> int;
+  d_num_workers : unit -> int;
+}
+
+let effect_dispatch =
+  {
+    d_new_loc = (fun () -> Effect.perform New_loc);
+    d_access = (fun loc kind -> Effect.perform (Access (loc, kind)));
+    d_relax = (fun n -> Effect.perform (Relax n));
+    d_yield = (fun () -> Effect.perform Yield);
+    d_now = (fun () -> Effect.perform Now);
+    d_now_int = (fun () -> Int64.to_int (Effect.perform Now));
+    d_rand_int = (fun n -> Effect.perform (Rand_int n));
+    d_rand_bits = (fun () -> Effect.perform Rand_bits);
+    d_spawn = (fun body -> Effect.perform (Spawn body));
+    d_await_all = (fun () -> Effect.perform Await_all);
+    d_fiber_id = (fun () -> Effect.perform Fiber_id);
+    d_num_workers = (fun () -> Effect.perform Num_workers);
+  }
+
+(* The record is stored in the slot directly (not behind a ref): the
+   [dispatch] read is on the path of every primitive, and one DLS load is
+   all it costs. *)
+let disp_key = Domain.DLS.new_key (fun () -> effect_dispatch)
+let[@inline] dispatch () = Domain.DLS.get disp_key
+
+(* [install d] swaps the calling domain's dispatch and returns the
+   previous one; callers must [restore] it (in a [Fun.protect]) so
+   nested runs and post-run code see what they saw before. *)
+let install d =
+  let saved = Domain.DLS.get disp_key in
+  Domain.DLS.set disp_key d;
+  saved
+
+let restore d = Domain.DLS.set disp_key d
 
 module Detect = struct
   type event = Make | Read | Write | Rmw | Cas of bool
@@ -85,28 +154,28 @@ module Prim : Sec_prim.Prim_intf.EXEC with type budget = int = struct
   module Atomic = struct
     type 'a t = { loc : int; mutable v : 'a }
 
-    (* Whichever scheduler handles these effects runs exactly one fiber at
-       a time, so after the effect accounts for the access we can act on
-       [v] directly. *)
+    (* Whichever scheduler dispatches these accesses runs exactly one
+       fiber at a time, so after the dispatch accounts for the access we
+       can act on [v] directly. *)
     let make v =
-      let loc = Effect.perform New_loc in
+      let loc = (dispatch ()).d_new_loc () in
       Detect.notify loc Detect.Make;
       { loc; v }
 
     let make_padded = make (* every simulated cell is its own line *)
 
     let get t =
-      Effect.perform (Access (t.loc, Cache_model.Read));
+      (dispatch ()).d_access t.loc Cache_model.Read;
       Detect.notify t.loc Detect.Read;
       t.v
 
     let set t v =
-      Effect.perform (Access (t.loc, Cache_model.Write));
+      (dispatch ()).d_access t.loc Cache_model.Write;
       Detect.notify t.loc Detect.Write;
       t.v <- v
 
     let exchange t v =
-      Effect.perform (Access (t.loc, Cache_model.Rmw));
+      (dispatch ()).d_access t.loc Cache_model.Rmw;
       Detect.notify t.loc Detect.Rmw;
       let old = t.v in
       t.v <- v;
@@ -114,7 +183,7 @@ module Prim : Sec_prim.Prim_intf.EXEC with type budget = int = struct
 
     let compare_and_set t expected desired =
       (* A failing CAS still costs the line transfer. *)
-      Effect.perform (Access (t.loc, Cache_model.Rmw));
+      (dispatch ()).d_access t.loc Cache_model.Rmw;
       let success = t.v == expected in
       Detect.notify t.loc (Detect.Cas success);
       if success then begin
@@ -124,7 +193,7 @@ module Prim : Sec_prim.Prim_intf.EXEC with type budget = int = struct
       else false
 
     let fetch_and_add t n =
-      Effect.perform (Access (t.loc, Cache_model.Rmw));
+      (dispatch ()).d_access t.loc Cache_model.Rmw;
       Detect.notify t.loc Detect.Rmw;
       let old = t.v in
       t.v <- old + n;
@@ -134,31 +203,29 @@ module Prim : Sec_prim.Prim_intf.EXEC with type budget = int = struct
     let decr t = ignore (fetch_and_add t (-1))
   end
 
-  let cpu_relax () = Effect.perform (Relax 1)
-  let relax n = Effect.perform (Relax n)
-  let yield () = Effect.perform Yield
-  let now_ns () = Effect.perform Now
-  let rand_int n = Effect.perform (Rand_int n)
-  let rand_bits () = Effect.perform Rand_bits
-  let note_alloc () = incr alloc_tally
+  let cpu_relax () = (dispatch ()).d_relax 1
+  let relax n = (dispatch ()).d_relax n
+  let yield () = (dispatch ()).d_yield ()
+  let now_ns () = (dispatch ()).d_now ()
+  let rand_int n = (dispatch ()).d_rand_int n
+  let rand_bits () = (dispatch ()).d_rand_bits ()
+  let note_alloc () = incr (alloc_tally ())
 
   (* Execution capability ({!Sec_prim.Prim_intf.EXEC}): budgets are virtual
      cycles, and a deadline is just a target virtual time — the scheduler
      already orders fibers by their clocks, so [expired] is a plain
      comparison with no extra scheduling event. *)
   type budget = int
-  type deadline = { until : int64; budget : int }
+  type deadline = { until : int; budget : int }
 
-  let deadline_after b =
-    { until = Int64.add (Effect.perform Now) (Int64.of_int b); budget = b }
-
-  let expired d = Int64.compare (Effect.perform Now) d.until >= 0
+  let deadline_after b = { until = (dispatch ()).d_now_int () + b; budget = b }
+  let expired d = (dispatch ()).d_now_int () >= d.until
 
   (* The run always spans exactly its budget in virtual time: fibers stop
      at the first schedule point past [until]. *)
   let elapsed d = d.budget
-  let spawn body = Effect.perform (Spawn body)
-  let await_all () = Effect.perform Await_all
-  let thread_id () = Effect.perform Fiber_id
-  let num_threads () = Effect.perform Num_workers
+  let spawn body = (dispatch ()).d_spawn body
+  let await_all () = (dispatch ()).d_await_all ()
+  let thread_id () = (dispatch ()).d_fiber_id ()
+  let num_threads () = (dispatch ()).d_num_workers ()
 end

@@ -1,0 +1,106 @@
+(* Golden tests for the figure pipeline: the pinned-seed cells (one per
+   machine profile) must reproduce the pre-refactor CSV bytes and
+   per-job schedule digests checked in under test/goldens/, and the
+   parallel sweep must be bit-identical to serial execution. The
+   parallel leg calls {!Sweep.map} directly (not [run_figures], whose
+   policy clamp would fold a 2-domain request back to 1 on a 1-core
+   host), so it exercises a real multi-domain pool everywhere. *)
+
+module E = Sec_harness.Experiments
+module Sweep = Sec_harness.Sweep
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+(* cwd is test/ under `dune runtest`, the repo root under `dune exec`. *)
+let goldens_dir =
+  if Sys.file_exists "goldens" then "goldens"
+  else Filename.concat "test" "goldens"
+
+let golden name = read_file (Filename.concat goldens_dir name)
+let cell_ids = [ "fig2/100%upd"; "fig5/100%upd"; "fig9/100%upd" ]
+let csv_files = [ "fig2_100%upd.csv"; "fig5_100%upd.csv"; "fig9_100%upd.csv" ]
+
+let opts dir =
+  { E.scale = 0.05; csv_dir = dir; backend = `Sim; seed = 1 }
+
+(* ------------------------------------------------------------------ *)
+(* Serial figures run reproduces the checked-in goldens byte-for-byte. *)
+
+let test_serial_golden () =
+  let dir =
+    Filename.concat (Filename.get_temp_dir_name ()) "sec_test_figures_out"
+  in
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  E.run_figures (opts (Some dir)) ~jobs:1 ~only:cell_ids
+    ~digest_path:(Filename.concat dir "digests.csv") ();
+  List.iter
+    (fun f ->
+      let got = read_file (Filename.concat dir f) in
+      let want = golden (Filename.remove_extension f ^ ".golden.csv") in
+      Alcotest.(check string) (f ^ " bytes") want got)
+    csv_files;
+  let got = read_file (Filename.concat dir "digests.csv") in
+  let want = golden "figures_digests.golden.csv" in
+  Alcotest.(check string) "digest csv bytes" want got
+
+(* ------------------------------------------------------------------ *)
+(* The same cells fanned out over a forced 2-domain pool match the
+   golden digests job-for-job.                                          *)
+
+let golden_digests () =
+  golden "figures_digests.golden.csv"
+  |> String.split_on_char '\n'
+  |> List.filter (fun l -> l <> "" && not (String.starts_with ~prefix:"cell," l))
+  |> List.map (fun l ->
+         match String.split_on_char ',' l with
+         | [ cell; job; digest ] -> (cell, int_of_string job, int_of_string digest)
+         | _ -> Alcotest.failf "malformed digest line %S" l)
+
+let cell_of id =
+  let fig = List.hd (String.split_on_char '/' id) in
+  match E.find fig with
+  | Some { E.plan = Some plan; _ } -> (
+      match List.find_opt (fun c -> c.E.cell_id = id) (plan (opts None)) with
+      | Some c -> c
+      | None -> Alcotest.failf "experiment %s has no cell %s" fig id)
+  | _ -> Alcotest.failf "experiment %s has no figure plan" fig
+
+let test_parallel_digests () =
+  let golden = golden_digests () in
+  List.iter
+    (fun id ->
+      let c = cell_of id in
+      let results = Sweep.map ~jobs:2 (fun job -> job ()) c.E.cell_jobs in
+      let want = List.filter (fun (cell, _, _) -> cell = id) golden in
+      Alcotest.(check int) (id ^ " job count") (List.length want)
+        (Array.length results);
+      List.iter
+        (fun (_, j, d) ->
+          Alcotest.(check int)
+            (Printf.sprintf "%s job %d digest" id j)
+            d
+            (E.digest_of results.(j)))
+        want)
+    cell_ids
+
+(* ------------------------------------------------------------------ *)
+(* Unknown --only filters are rejected up front, before any job runs.  *)
+
+let test_unknown_filter () =
+  match E.run_figures (opts None) ~jobs:1 ~only:[ "fig99" ] () with
+  | () -> Alcotest.fail "unknown filter accepted"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "figures"
+    [
+      ( "golden cells",
+        [
+          Alcotest.test_case "serial run reproduces goldens" `Quick
+            test_serial_golden;
+          Alcotest.test_case "2-domain pool matches golden digests" `Quick
+            test_parallel_digests;
+          Alcotest.test_case "unknown --only rejected" `Quick
+            test_unknown_filter;
+        ] );
+    ]

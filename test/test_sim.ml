@@ -389,6 +389,111 @@ let sim_linearizability (module S : STACK) ?(threads = 5) ?(ops = 8)
           seed
   done
 
+(* ------------------------------------------------------------------ *)
+(* Adversarial paths through the event loop: suspension freezing a
+   worker mid-spin, event-budget exhaustion, jitter determinism, and
+   heap key-packing range checks.                                       *)
+
+(* Freeze worker 0 before its 3rd access while worker 1 spins on the
+   flag only worker 0 can set: the loop must hit the event budget and
+   raise Stalled rather than spin forever.                              *)
+let test_suspend_stalls_spinner () =
+  let run () =
+    Sim.run ~seed:5 ~suspend:(0, 3) ~max_events:50_000
+      ~topology:Topology.testbox (fun () ->
+        let flag = SP.Atomic.make 0 in
+        Sim.spawn (fun () ->
+            ignore (SP.Atomic.get flag);
+            ignore (SP.Atomic.get flag);
+            (* frozen before this store: *)
+            SP.Atomic.set flag 1);
+        Sim.spawn (fun () ->
+            while SP.Atomic.get flag = 0 do
+              SP.relax 1
+            done);
+        Sim.await_all ())
+  in
+  match run () with
+  | _ -> Alcotest.fail "expected Stalled"
+  | exception Sim.Stalled -> ()
+
+(* A suspended worker stops counting as live, so await_all returns once
+   its peers finish when nobody depends on the victim.                  *)
+let test_suspend_peers_finish () =
+  let total, _ =
+    Sim.run ~seed:6 ~suspend:(0, 2) ~topology:Topology.testbox (fun () ->
+        let c = SP.Atomic.make 0 in
+        for _ = 1 to 3 do
+          Sim.spawn (fun () ->
+              for _ = 1 to 10 do
+                ignore (SP.Atomic.fetch_and_add c 1)
+              done)
+        done;
+        Sim.await_all ();
+        SP.Atomic.get c)
+  in
+  (* Worker 0 completed one faa before freezing; its peers all ran. *)
+  Alcotest.(check int) "survivors' increments" 21 total
+
+(* max_events bounds any run, adversary or not. *)
+let test_max_events_exhaustion () =
+  let run () =
+    Sim.run ~seed:7 ~max_events:100 ~topology:Topology.testbox (fun () ->
+        let c = SP.Atomic.make 0 in
+        Sim.spawn (fun () ->
+            for _ = 1 to 10_000 do
+              ignore (SP.Atomic.fetch_and_add c 1)
+            done);
+        Sim.await_all ())
+  in
+  match run () with
+  | _ -> Alcotest.fail "expected Stalled"
+  | exception Sim.Stalled -> ()
+
+(* Same seed + jitter -> identical schedule digest and event count;
+   different jitter -> a different schedule (the digest must move).     *)
+let jittered_digest ~seed ~jitter =
+  let _, stats =
+    Sim.run ~seed ~jitter ~topology:Topology.testbox (fun () ->
+        let c = SP.Atomic.make 0 in
+        for _ = 1 to 4 do
+          Sim.spawn (fun () ->
+              for _ = 1 to 25 do
+                ignore (SP.Atomic.fetch_and_add c 1)
+              done)
+        done;
+        Sim.await_all ())
+  in
+  (stats.Sim.schedule_digest, stats.Sim.events)
+
+let test_jitter_determinism () =
+  let d1 = jittered_digest ~seed:42 ~jitter:9 in
+  let d2 = jittered_digest ~seed:42 ~jitter:9 in
+  Alcotest.(check (pair int int)) "same seed+jitter replays" d1 d2;
+  let d3 = jittered_digest ~seed:42 ~jitter:10 in
+  Alcotest.(check bool) "jitter change perturbs schedule" true
+    (fst d1 <> fst d3);
+  Alcotest.(check bool) "digest non-negative" true (fst d1 >= 0)
+
+(* Heap key packing rejects out-of-range fids and times instead of
+   silently corrupting the schedule order.                              *)
+let test_heap_pack_range () =
+  let max_fid = (1 lsl Sim.Heap.fid_bits) - 1 - Sim.Heap.fid_bias in
+  (* In-range keys pack and preserve (time, fid) ordering. *)
+  Alcotest.(check bool) "time dominates" true
+    (Sim.Heap.pack 5 max_fid < Sim.Heap.pack 6 0);
+  Alcotest.(check bool) "fid breaks ties" true
+    (Sim.Heap.pack 5 0 < Sim.Heap.pack 5 1);
+  let rejects time fid =
+    match Sim.Heap.pack time fid with
+    | _ -> Alcotest.failf "pack %d %d accepted" time fid
+    | exception Invalid_argument _ -> ()
+  in
+  rejects 0 (max_fid + 1);
+  rejects 0 (-1 - Sim.Heap.fid_bias);
+  rejects (1 lsl (63 - Sim.Heap.fid_bits)) 0;
+  rejects (-1) 0
+
 let () =
   Alcotest.run "sim"
     [
@@ -428,6 +533,18 @@ let () =
             test_sim_await_without_workers;
           Alcotest.test_case "sequential runs independent" `Quick
             test_sim_sequential_runs_independent;
+        ] );
+      ( "adversarial paths",
+        [
+          Alcotest.test_case "suspend stalls a spinner" `Quick
+            test_suspend_stalls_spinner;
+          Alcotest.test_case "suspend lets peers finish" `Quick
+            test_suspend_peers_finish;
+          Alcotest.test_case "max_events exhaustion" `Quick
+            test_max_events_exhaustion;
+          Alcotest.test_case "jitter determinism" `Quick
+            test_jitter_determinism;
+          Alcotest.test_case "heap pack range" `Quick test_heap_pack_range;
         ] );
       ( "stacks at 40 fibers",
         [

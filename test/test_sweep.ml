@@ -1,0 +1,76 @@
+(* Tests for the domain-pool fan-out used by `sec_bench figures`.
+   [Sweep.map] takes the pool size literally, so a multi-domain pool is
+   exercised even on a single-core host; the policy clamp
+   ([Sweep.clamp_jobs]) is tested separately. *)
+
+module Sweep = Sec_harness.Sweep
+module Sim = Sec_sim.Sim
+module Topology = Sec_sim.Topology
+
+let test_clamp () =
+  let r = Sweep.recommended () in
+  Alcotest.(check bool) "recommended >= 1" true (r >= 1);
+  Alcotest.(check int) "non-positive -> serial" 1 (Sweep.clamp_jobs 0);
+  Alcotest.(check int) "negative -> serial" 1 (Sweep.clamp_jobs (-4));
+  Alcotest.(check int) "oversubscription capped" r (Sweep.clamp_jobs (r + 64));
+  Alcotest.(check int) "in-range untouched" 1 (Sweep.clamp_jobs 1);
+  Alcotest.(check int) "default is recommended" r (Sweep.default_jobs ())
+
+(* A pure CPU-bound job: pool results must equal Array.map exactly. *)
+let test_map_pure () =
+  let items = Array.init 37 (fun i -> i) in
+  let f x = (x * 2654435761) land 0xFFFF in
+  let serial = Array.map f items in
+  List.iter
+    (fun jobs ->
+      let got = Sweep.map ~jobs f items in
+      Alcotest.(check (array int))
+        (Printf.sprintf "jobs=%d matches serial" jobs)
+        serial got)
+    [ 1; 2; 3; 8 ]
+
+(* Simulation jobs: each Sim.run owns fresh state, so fanning the same
+   job list over 1 and 2 domains must give identical schedule digests —
+   the differential that backs `figures --jobs N` bit-identity. *)
+let sim_job seed () =
+  let (), stats =
+    Sim.run ~seed ~jitter:3 ~topology:Topology.testbox (fun () ->
+        let counter = Sim.Prim.Atomic.make 0 in
+        for _ = 1 to 4 do
+          Sim.spawn (fun () ->
+              for _ = 1 to 50 do
+                ignore (Sim.Prim.Atomic.fetch_and_add counter 1)
+              done)
+        done;
+        Sim.await_all ())
+  in
+  stats.Sim.schedule_digest
+
+let test_map_sim_differential () =
+  let jobs = Array.init 8 (fun i -> sim_job (100 + i)) in
+  let serial = Sweep.map ~jobs:1 (fun j -> j ()) jobs in
+  let parallel = Sweep.map ~jobs:2 (fun j -> j ()) jobs in
+  Alcotest.(check (array int)) "digests: 1 domain = 2 domains" serial parallel
+
+(* The first failing job's exception (in input order) is re-raised after
+   the pool drains; later results are still computed. *)
+exception Boom of int
+
+let test_map_error () =
+  let f x = if x mod 5 = 3 then raise (Boom x) else x in
+  match Sweep.map ~jobs:2 f (Array.init 20 (fun i -> i)) with
+  | _ -> Alcotest.fail "expected Boom"
+  | exception Boom n -> Alcotest.(check int) "first failure in job order" 3 n
+
+let () =
+  Alcotest.run "sweep"
+    [
+      ( "domain pool",
+        [
+          Alcotest.test_case "clamp_jobs" `Quick test_clamp;
+          Alcotest.test_case "pure map identical" `Quick test_map_pure;
+          Alcotest.test_case "sim digests differential" `Quick
+            test_map_sim_differential;
+          Alcotest.test_case "error propagation" `Quick test_map_error;
+        ] );
+    ]
