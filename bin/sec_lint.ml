@@ -1,19 +1,34 @@
 (* Command-line driver for the discipline lint.
 
    Default mode: walk the given files and directories (recursively,
-   *.ml only), print every diagnostic as file:line:col, exit non-zero if
-   any were found. Wired into the build as [dune build @lint], which
+   *.ml only), run the interprocedural summary analysis
+   (Sec_summary.Summary) over the whole set, lint each file with the
+   resulting facts (rules 1-9, obligations discharged across call
+   boundaries), add the rule-10 plain-publication diagnostics, print
+   every diagnostic as file:line:col, and exit non-zero if any were
+   found. Wired into the build as [dune build @lint], which
    [dune runtest] depends on — so a discipline violation fails the
-   tier-1 check. With [--json], diagnostics are emitted as a JSON array
-   of {file, line, col, rule, message} objects on stdout (exit status
-   unchanged), for editor and CI integrations.
+   tier-1 check. Output modes: [--json] emits a JSON array of
+   {file, line, col, rule, message}; [--sarif] emits a SARIF 2.1.0
+   document for CI code-scanning upload (exit status unchanged).
+
+   Audit mode: [sec_lint --audit <dir>] rechecks every suppression
+   annotation with that one occurrence treated as absent; annotations
+   whose removal leaves the diagnostic set unchanged are stale and
+   reported (exit 1), together with per-rule suppression counts.
+   [@publication_ok] is counted but not staleness-probed (its rule
+   lives in the summary analysis, not the syntactic recheck).
 
    Self-test mode: [sec_lint --selftest <dir>] checks the fixture files
-   under <dir> (discipline scope forced on) against their inline
-   "(* EXPECT rule *)" markers, failing on any missing or unexpected
-   diagnostic. Wired in as [dune build @lint-selftest]; it keeps the
-   rules honest — a rule that silently stops firing breaks the build,
-   same as one that starts flagging clean idioms. *)
+   under <dir> (discipline scope forced on, summaries built over the
+   fixture set) against their inline "(* EXPECT rule *)" markers,
+   failing on any missing or unexpected diagnostic. Wired in as
+   [dune build @lint-selftest]; it keeps the rules honest — a rule that
+   silently stops firing breaks the build, same as one that starts
+   flagging clean idioms. *)
+
+module L = Sec_lint_rules.Lint_rules
+module Summary = Sec_summary.Summary
 
 let rec gather path acc =
   if not (Sys.file_exists path) then begin
@@ -50,7 +65,7 @@ let json_escape s =
 let print_json diagnostics =
   print_string "[";
   List.iteri
-    (fun i (d : Sec_lint_rules.Lint_rules.diagnostic) ->
+    (fun i (d : L.diagnostic) ->
       if i > 0 then print_string ",";
       Printf.printf
         "\n  {\"file\": \"%s\", \"line\": %d, \"col\": %d, \"rule\": \"%s\", \
@@ -61,22 +76,87 @@ let print_json diagnostics =
   if diagnostics <> [] then print_string "\n";
   print_string "]\n"
 
-let lint ~json files =
-  let diagnostics = List.concat_map Sec_lint_rules.Lint_rules.check_file files in
-  if json then print_json diagnostics
-  else
-    List.iter
-      (fun d ->
-        print_endline (Sec_lint_rules.Lint_rules.diagnostic_to_string d))
-      diagnostics;
+(* Lint [files] as one corpus: one summary environment, per-file facts,
+   plus the whole-environment rule-10 diagnostics. *)
+let check_corpus ?scope files =
+  let env = Summary.analyze ?scope files in
+  let diagnostics =
+    List.concat_map
+      (fun file ->
+        L.check_file ?scope ~facts:(Summary.facts_for env ~file) file)
+      files
+    @ Summary.publication_diagnostics env
+  in
+  ( env,
+    List.sort
+      (fun (a : L.diagnostic) b ->
+        compare (a.file, a.line, a.col, a.rule) (b.file, b.line, b.col, b.rule))
+      diagnostics )
+
+type output = Text | Json | Sarif
+
+let lint ~output files =
+  let _env, diagnostics = check_corpus files in
+  (match output with
+  | Json -> print_json diagnostics
+  | Sarif -> print_string (L.sarif_of_diagnostics diagnostics)
+  | Text ->
+      List.iter (fun d -> print_endline (L.diagnostic_to_string d)) diagnostics);
   match diagnostics with
   | [] ->
-      if not json then
+      if output = Text then
         Printf.printf "sec_lint: %d files clean\n" (List.length files);
       exit 0
   | ds ->
       Printf.eprintf "sec_lint: %d diagnostic(s)\n" (List.length ds);
       exit 1
+
+(* --- audit mode ---------------------------------------------------- *)
+
+let audit files =
+  let env = Summary.analyze files in
+  let entries =
+    List.concat_map
+      (fun file ->
+        List.map
+          (fun e -> (file, e))
+          (L.audit_file ~facts:(Summary.facts_for env ~file) file))
+      files
+  in
+  let count name =
+    List.length
+      (List.filter
+         (fun (_, (e : L.audit_entry)) -> e.audit_annotation.ann_name = name)
+         entries)
+  in
+  Printf.printf "suppression annotations by rule:\n";
+  List.iter
+    (fun (name, rules) ->
+      Printf.printf "  %-16s %3d  (suppresses %s)\n" ("[@" ^ name ^ "]")
+        (count name)
+        (String.concat ", " rules))
+    L.auditable_annotations;
+  let stale =
+    List.filter (fun (_, (e : L.audit_entry)) -> not e.audit_live) entries
+  in
+  List.iter
+    (fun (file, (e : L.audit_entry)) ->
+      Printf.printf
+        "STALE %s:%d:%d: [@%s \"%s\"] suppresses nothing the analysis still \
+         flags; delete it\n"
+        file e.audit_annotation.ann_line e.audit_annotation.ann_col
+        e.audit_annotation.ann_name e.audit_annotation.ann_reason)
+    stale;
+  if stale = [] then begin
+    Printf.printf "sec_lint --audit: %d annotations, none stale\n"
+      (List.length entries);
+    exit 0
+  end
+  else begin
+    Printf.eprintf "sec_lint --audit: %d stale annotation(s)\n"
+      (List.length stale);
+    exit 1
+  end
 
 (* --- self-test mode ------------------------------------------------ *)
 
@@ -122,10 +202,11 @@ let selftest dir =
     Printf.eprintf "sec_lint --selftest: no .ml fixtures under %s\n" dir;
     exit 2
   end;
-  (* Fixtures are checked as if they lived in an algorithm directory. *)
-  let scope =
-    { Sec_lint_rules.Lint_rules.check_discipline = true; allow_obj = false }
-  in
+  (* Fixtures are checked as if they lived in an algorithm directory,
+     with summaries built over the whole fixture set so interprocedural
+     fixtures exercise the facts and rule-10 paths. *)
+  let scope = { L.check_discipline = true; allow_obj = false } in
+  let _env, diagnostics = check_corpus ~scope files in
   let failures = ref 0 in
   let expected_total = ref 0 in
   List.iter
@@ -133,9 +214,10 @@ let selftest dir =
       let expected = expectations_of_file file in
       expected_total := !expected_total + List.length expected;
       let got =
-        List.map
-          (fun (d : Sec_lint_rules.Lint_rules.diagnostic) -> (d.line, d.rule))
-          (Sec_lint_rules.Lint_rules.check_file ~scope file)
+        List.filter_map
+          (fun (d : L.diagnostic) ->
+            if d.file = file then Some (d.line, d.rule) else None)
+          diagnostics
       in
       List.iter
         (fun (line, rule) ->
@@ -167,13 +249,25 @@ let selftest dir =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let json = List.mem "--json" args in
-  let args = List.filter (fun a -> a <> "--json") args in
+  let output =
+    if List.mem "--sarif" args then Sarif
+    else if List.mem "--json" args then Json
+    else Text
+  in
+  let audit_mode = List.mem "--audit" args in
+  let args =
+    List.filter (fun a -> a <> "--json" && a <> "--sarif" && a <> "--audit") args
+  in
+  let usage () =
+    prerr_endline
+      "usage: sec_lint [--json|--sarif] <file-or-directory>...\n\
+      \       sec_lint --audit <file-or-directory>...\n\
+      \       sec_lint --selftest <dir>";
+    exit 2
+  in
   match args with
-  | [] | [ "--selftest" ] ->
-      prerr_endline
-        "usage: sec_lint [--json] <file-or-directory>... | sec_lint \
-         --selftest <dir>";
-      exit 2
+  | [] | [ "--selftest" ] -> usage ()
   | [ "--selftest"; dir ] -> selftest dir
-  | args -> lint ~json (List.concat_map (fun p -> List.rev (gather p [])) args)
+  | args ->
+      let files = List.concat_map (fun p -> List.rev (gather p [])) args in
+      if audit_mode then audit files else lint ~output files

@@ -1,5 +1,5 @@
 (* Static enforcement of the repo's shared-memory discipline, over the
-   compiler-libs parsetree. Nine rule classes (see docs/ANALYSIS.md):
+   compiler-libs parsetree. Ten rule classes (see docs/ANALYSIS.md):
 
    1. [mutable-field] — algorithm modules (lib/stacks, lib/core,
       lib/reclaim, lib/funnel) may not declare [mutable] record fields
@@ -68,14 +68,33 @@
       default refinement properties {!Sec_refine.Refine} verifies
       dynamically.
 
-   The checker is syntactic by design: it recognises the repo idiom
-   ([module A = P.Atomic], [A.make] / [Atomic.make], [module Ebr =
-   Ebr.Make (P)], [Ebr.guard] / [Ebr.retire]) rather than doing
-   type-driven analysis, which keeps it dependency-free and fast enough
-   to run on every build.
+   10. [plain-publication] — a read-modify-plain-write chain ([get x]
+       then a plain [set x] on the same atomic cell, with no ordering
+       RMW on the path between them) on a cell written from two or more
+       entry points is the lost-update idiom the dynamic
+       {!Sec_analysis.Race_detector} models as a write-write race. The
+       rule is interprocedural — the chain may span helper calls — so
+       it lives in {!Sec_summary.Summary} (the summary side of this
+       checker); it is listed here because it shares the diagnostic
+       surface, the annotation discipline ([@publication_ok "reason"])
+       and the driver. See docs/ANALYSIS.md, "Static prong".
 
-   The three intent annotations — [@unguarded_ok], [@retire_ok],
-   [@await_ok] — share one subtree-covering discipline
+   The per-file checker is syntactic by design: it recognises the repo
+   idiom ([module A = P.Atomic], [A.make] / [Atomic.make], [module Ebr
+   = Ebr.Make (P)], [Ebr.guard] / [Ebr.retire]) rather than doing
+   type-driven analysis, which keeps it dependency-free and fast enough
+   to run on every build. Interprocedural knowledge enters through
+   {!facts}: a bundle of location predicates computed by
+   {!Sec_summary.Summary} from per-function atomic-effect summaries
+   propagated over the whole-library call graph. Facts only ever
+   *discharge* obligations (a callee that paces, a caller that holds
+   the guard, a call site gated by the unlink CAS), never add new ones,
+   so running without facts is always sound but may demand annotations
+   the interprocedural analysis proves unnecessary ([--audit] reports
+   those).
+
+   The intent annotations — [@unguarded_ok], [@retire_ok], [@await_ok],
+   [@fresh_ok] — share one subtree-covering discipline
    ({!covering_annotations}): each needs a non-empty reason string, and
    each marks its whole subtree, so one annotation on a helper's body
    covers every occurrence inside it. *)
@@ -92,6 +111,47 @@ type scope = {
   check_discipline : bool;
       (* rules 1, 2, 4, 5: algorithm modules written against Prim_intf *)
   allow_obj : bool; (* rule 3 exemption: lib/prim/padding.ml *)
+}
+
+(* Interprocedural facts, supplied by Sec_summary.Summary (or {!no_facts}
+   when running purely syntactically). Positions are (line, col) pairs of
+   the would-be diagnostic; spans are (start_line, end_line) of the
+   expression whose obligation is being discharged. Facts are consulted
+   only to *suppress* a diagnostic, never to create one. *)
+type facts = {
+  guarded_at : int * int -> bool;
+      (* rule 4: the enclosing function runs under a guard at every call
+         site (or the position sits inside a guard-wrapper call) *)
+  gated_at : int * int -> bool;
+      (* rule 5: every call site of the enclosing function is gated by an
+         unlink compare_and_set *)
+  awaited_at : int * int -> bool;
+      (* rules 6/7: every call site sits under an [@await_ok] extent *)
+  fresh_at : int * int -> bool;
+      (* rule 8: every call site sits under a [@fresh_ok] extent *)
+  paced_within : int * int -> bool;
+      (* rule 6: some call inside the span resolves to a function whose
+         transitive effect paces (Backoff/relax/yield) *)
+}
+
+let no_facts =
+  let f _ = false in
+  {
+    guarded_at = f;
+    gated_at = f;
+    awaited_at = f;
+    fresh_at = f;
+    paced_within = f;
+  }
+
+(* Identity of one annotation occurrence, for the audit's
+   disable-and-recheck probe: the position of the attribute *name*
+   distinguishes two same-named annotations on one line. *)
+type annotation = {
+  ann_name : string;
+  ann_line : int;
+  ann_col : int;
+  ann_reason : string;
 }
 
 (* Directories whose modules implement the stack/prim interfaces and are
@@ -178,10 +238,33 @@ let is_atomic_get lid =
   | "get" :: owner :: _ -> owner = "A" || owner = "Atomic"
   | _ -> false
 
+(* [A.set] / [Atomic.set]: the plain (blind) store — a release without
+   an acquire in the dynamic detector's model, and the write half of the
+   rule-10 lost-update chain. *)
+let is_atomic_set lid =
+  match List.rev (flatten_longident lid) with
+  | "set" :: owner :: _ -> owner = "A" || owner = "Atomic"
+  | _ -> false
+
 (* The RMWs whose failure is what a retry loop retries on. *)
 let is_retry_rmw_ident lid =
   match last_component lid with
   | "compare_and_set" | "exchange" -> true
+  | _ -> false
+
+(* Every ordering RMW of the substrate vocabulary: an acquire+release
+   access whose presence on a path discharges the rule-10 chain. *)
+let is_rmw_ident lid =
+  match last_component lid with
+  | "compare_and_set" | "exchange" | "fetch_and_add" | "incr" | "decr" ->
+      true
+  | _ -> false
+
+(* [a.(i)] desugars to [Array.get a i]; summaries trace the array
+   expression through it to key the cell. *)
+let is_array_get lid =
+  match flatten_longident lid with
+  | [ "Array"; ("get" | "unsafe_get") ] -> true
   | _ -> false
 
 (* Pacing calls that discharge rule 6: the substrate's waiting vocabulary
@@ -306,19 +389,6 @@ type ctx = {
   fresh_covered : bool; (* inside a [@fresh_ok "..."] subtree (rule 8) *)
 }
 
-(* The shared subtree-covering annotation discipline: an annotation with
-   a non-empty reason string marks the whole subtree it sits on, so one
-   annotation on a helper's body covers every occurrence inside it.
-   [@unguarded_ok] discharges rule 4, [@retire_ok] rule 5, [@await_ok]
-   rules 6 and 7. *)
-let attr_has_reason name attrs =
-  match find_attr name attrs with
-  | Some attr -> (
-      match string_payload attr with
-      | Some s -> String.trim s <> ""
-      | None -> false)
-  | None -> false
-
 let covering_annotations =
   [
     ("unguarded_ok", fun ctx -> { ctx with in_guard = true });
@@ -327,30 +397,69 @@ let covering_annotations =
     ("fresh_ok", fun ctx -> { ctx with fresh_covered = true });
   ]
 
-let enter_covering (e : expression) ctx =
-  List.fold_left
-    (fun ctx (name, mark) ->
-      if attr_has_reason name e.pexp_attributes then mark ctx else ctx)
-    ctx covering_annotations
+(* The names the audit probes, with the rules each one suppresses. *)
+let auditable_annotations =
+  [
+    ("unguarded_ok", [ "ebr-guard" ]);
+    ("retire_ok", [ "retire-once" ]);
+    ("await_ok", [ "retry-discipline"; "progress-class" ]);
+    ("fresh_ok", [ "fresh-node" ]);
+    ("unpadded_ok", [ "unpadded-atomic" ]);
+    ("plain_ok", [ "mutable-field" ]);
+    (* counted but never staleness-probed: rule 10 is computed by the
+       summary analysis, not by the syntactic recheck the probe runs *)
+    ("publication_ok", [ "plain-publication" ]);
+  ]
 
-(* Does any sub-expression of [e] (including [e] itself) carry a
-   justified [@await_ok]? Used where rule 6 anchors on the whole binding
-   but the annotation may sit on an inner expression. *)
-let subtree_has_await_ok e =
-  let found = ref false in
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      expr =
-        (fun it e ->
-          if attr_has_reason "await_ok" e.pexp_attributes then found := true;
-          Ast_iterator.default_iterator.expr it e);
-    }
+let check_structure ?(facts = no_facts) ?disabled ~file ~scope structure =
+  (* [disabled] names one annotation occurrence to treat as absent: the
+     audit's probe. Identity is (name, position of the attribute name),
+     so two same-named annotations on one line stay distinct. *)
+  let attr_enabled (attr : attribute) =
+    match disabled with
+    | None -> true
+    | Some d ->
+        not
+          (attr.attr_name.Location.txt = d.ann_name
+          && pos_of attr.attr_name.Location.loc = (d.ann_line, d.ann_col))
   in
-  it.expr it e;
-  !found
-
-let check_structure ~file ~scope structure =
+  (* The shared subtree-covering annotation discipline: an annotation
+     with a non-empty reason string marks the whole subtree it sits on,
+     so one annotation on a helper's body covers every occurrence inside
+     it. [@unguarded_ok] discharges rule 4, [@retire_ok] rule 5,
+     [@await_ok] rules 6 and 7, [@fresh_ok] rule 8. *)
+  let attr_has_reason name attrs =
+    match find_attr name attrs with
+    | Some attr when attr_enabled attr -> (
+        match string_payload attr with
+        | Some s -> String.trim s <> ""
+        | None -> false)
+    | _ -> false
+  in
+  let enter_covering (e : expression) ctx =
+    List.fold_left
+      (fun ctx (name, mark) ->
+        if attr_has_reason name e.pexp_attributes then mark ctx else ctx)
+      ctx covering_annotations
+  in
+  (* Does any sub-expression of [e] (including [e] itself) carry a
+     justified [@await_ok]? Used where rule 6 anchors on the whole
+     binding but the annotation may sit on an inner expression. *)
+  let subtree_has_await_ok e =
+    let found = ref false in
+    let it =
+      {
+        Ast_iterator.default_iterator with
+        expr =
+          (fun it e ->
+            if attr_has_reason "await_ok" e.pexp_attributes then
+              found := true;
+            Ast_iterator.default_iterator.expr it e);
+      }
+    in
+    it.expr it e;
+    !found
+  in
   let diags = ref [] in
   let add loc rule message =
     let line, col = pos_of loc in
@@ -413,15 +522,7 @@ let check_structure ~file ~scope structure =
     | Asttypes.Immutable -> ()
     | Asttypes.Mutable -> (
         match find_attr "plain_ok" ld.pld_attributes with
-        | None ->
-            add ld.pld_loc "mutable-field"
-              (Printf.sprintf
-                 "mutable field '%s' in an algorithm module: shared-memory \
-                  communication must go through Atomic (the simulator cannot \
-                  intercept plain stores); if the field is safely published, \
-                  annotate it [@plain_ok \"how it is published\"]"
-                 ld.pld_name.Location.txt)
-        | Some attr -> (
+        | Some attr when attr_enabled attr -> (
             match string_payload attr with
             | Some arg when String.trim arg <> "" -> ()
             | Some _ | None ->
@@ -429,7 +530,15 @@ let check_structure ~file ~scope structure =
                   (Printf.sprintf
                      "[@plain_ok] on mutable field '%s' needs a publication \
                       argument, e.g. [@plain_ok \"thread-private\"]"
-                     ld.pld_name.Location.txt)))
+                     ld.pld_name.Location.txt))
+        | Some _ | None ->
+            add ld.pld_loc "mutable-field"
+              (Printf.sprintf
+                 "mutable field '%s' in an algorithm module: shared-memory \
+                  communication must go through Atomic (the simulator cannot \
+                  intercept plain stores); if the field is safely published, \
+                  annotate it [@plain_ok \"how it is published\"]"
+                 ld.pld_name.Location.txt))
   in
 
   (* Rule 2: [A.make]/[Atomic.make] results stored in records or arrays. *)
@@ -481,6 +590,9 @@ let check_structure ~file ~scope structure =
        \"why the wait is bounded\"]"
       shape
   in
+  let line_span (loc : Location.t) =
+    (loc.Location.loc_start.Lexing.pos_lnum, loc.Location.loc_end.Lexing.pos_lnum)
+  in
   let check_retry_vb ctx (vb : value_binding) =
     match vb.pvb_pat.ppat_desc with
     | Ppat_var { txt = fname; _ } ->
@@ -491,7 +603,9 @@ let check_structure ~file ~scope structure =
           && (not (expr_contains_ident is_pacing_ident body))
           && (not ctx.await_covered)
           && (not (attr_has_reason "await_ok" vb.pvb_attributes))
-          && not (subtree_has_await_ok body)
+          && (not (subtree_has_await_ok body))
+          && (not (facts.paced_within (line_span vb.pvb_loc)))
+          && not (facts.awaited_at (pos_of vb.pvb_loc))
         then
           add vb.pvb_loc "retry-discipline"
             (retry_message
@@ -589,6 +703,7 @@ let check_structure ~file ~scope structure =
         (if
            ebr_rules && (not ctx.in_guard)
            && Hashtbl.mem node_fields (last_component field)
+           && not (facts.guarded_at (pos_of floc))
          then check_unguarded floc (last_component field));
         expr ctx inner
     | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
@@ -601,12 +716,14 @@ let check_structure ~file ~scope structure =
         (if
            ebr_rules && is_retire_call txt
            && (not ctx.in_cas_branch)
-           && not ctx.retire_covered
+           && (not ctx.retire_covered)
+           && not (facts.gated_at (pos_of e.pexp_loc))
          then check_retire e.pexp_loc);
         (if
            scope.check_discipline && declared_lock_free
            && is_spin_wait_ident txt
-           && not ctx.await_covered
+           && (not ctx.await_covered)
+           && not (facts.awaited_at (pos_of e.pexp_loc))
          then check_lock_free_spin e.pexp_loc);
         let arg_ctx =
           {
@@ -647,6 +764,7 @@ let check_structure ~file ~scope structure =
                 (fun (({ txt; _ } : Longident.t Location.loc), _) ->
                   Hashtbl.mem node_fields (last_component txt))
                 fields
+           && not (facts.fresh_at (pos_of e.pexp_loc))
          then check_fresh_node e.pexp_loc);
         Option.iter (expr ctx) base;
         List.iter
@@ -662,7 +780,9 @@ let check_structure ~file ~scope structure =
            && (not
                  (expr_contains_ident is_pacing_ident cond
                  || expr_contains_ident is_pacing_ident body))
-           && not (subtree_has_await_ok body)
+           && (not (subtree_has_await_ok body))
+           && (not (facts.paced_within (line_span e.pexp_loc)))
+           && not (facts.awaited_at (pos_of e.pexp_loc))
          then
            add e.pexp_loc "retry-discipline"
              (retry_message "while loop on an atomic read"));
@@ -728,32 +848,188 @@ let check_structure ~file ~scope structure =
 (* ------------------------------------------------------------------ *)
 (* Entry points                                                         *)
 
-let check_lexbuf ~file ~scope lexbuf =
+(* Both entry points parse from an in-memory string so location handling
+   (notably [pos_bol] bookkeeping across multi-line tokens, which
+   [Lexing.from_channel] refills mid-token) is byte-identical between
+   fixture EXPECT markers ([check_string]) and real files
+   ([check_file]). *)
+let parse_string ~file src =
+  let lexbuf = Lexing.from_string src in
   Location.init lexbuf file;
-  match Parse.implementation lexbuf with
-  | structure -> check_structure ~file ~scope structure
-  | exception exn ->
-      let loc, msg =
-        match Location.error_of_exn exn with
-        | Some (`Ok e) ->
-            (e.Location.main.Location.loc, "syntax error")
-        | _ -> (Location.none, Printexc.to_string exn)
-      in
-      let line, col = pos_of loc in
-      [ { file; line; col; rule = "parse-error"; message = msg } ]
+  Parse.implementation lexbuf
 
-let check_string ?scope ~filename src =
-  let scope = match scope with Some s -> s | None -> scope_of_path filename in
-  check_lexbuf ~file:filename ~scope (Lexing.from_string src)
-
-let check_file ?scope path =
-  let scope = match scope with Some s -> s | None -> scope_of_path path in
+let read_file path =
   let ic = open_in_bin path in
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
-    (fun () -> check_lexbuf ~file:path ~scope (Lexing.from_channel ic))
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let check_string ?facts ?scope ~filename src =
+  let scope = match scope with Some s -> s | None -> scope_of_path filename in
+  match parse_string ~file:filename src with
+  | structure -> check_structure ?facts ~file:filename ~scope structure
+  | exception exn ->
+      let loc, msg =
+        match Location.error_of_exn exn with
+        | Some (`Ok e) -> (e.Location.main.Location.loc, "syntax error")
+        | _ -> (Location.none, Printexc.to_string exn)
+      in
+      let line, col = pos_of loc in
+      [ { file = filename; line; col; rule = "parse-error"; message = msg } ]
+
+let check_file ?facts ?scope path =
+  let scope = match scope with Some s -> s | None -> scope_of_path path in
+  check_string ?facts ~scope ~filename:path (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Annotation audit                                                     *)
+
+(* Every auditable annotation occurrence in the structure, in source
+   order. The attribute hook sees attributes wherever they syntactically
+   attach (expressions, value bindings, label declarations), so one walk
+   covers all of [@unguarded_ok]/[@retire_ok]/[@await_ok]/[@fresh_ok]/
+   [@unpadded_ok]/[@plain_ok]. *)
+let annotations_of_structure structure =
+  let anns = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      attribute =
+        (fun it a ->
+          (match List.assoc_opt a.attr_name.Location.txt auditable_annotations
+           with
+          | Some _ ->
+              let line, col = pos_of a.attr_name.Location.loc in
+              anns :=
+                {
+                  ann_name = a.attr_name.Location.txt;
+                  ann_line = line;
+                  ann_col = col;
+                  ann_reason = Option.value (string_payload a) ~default:"";
+                }
+                :: !anns
+          | None -> ());
+          Ast_iterator.default_iterator.attribute it a);
+    }
+  in
+  it.structure it structure;
+  List.sort
+    (fun a b -> compare (a.ann_line, a.ann_col) (b.ann_line, b.ann_col))
+    !anns
+
+type audit_entry = {
+  audit_annotation : annotation;
+  audit_rules : string list; (* the rules this annotation can suppress *)
+  audit_live : bool; (* deleting it would change the diagnostic set *)
+}
+
+(* Disable-and-recheck: an annotation is live iff treating that one
+   occurrence as absent changes the diagnostic set. Precise by
+   construction — whatever subtree/covering semantics the rules give an
+   annotation, the probe inherits them. *)
+let audit_structure ?facts ~file ~scope structure =
+  let base = check_structure ?facts ~file ~scope structure in
+  List.map
+    (fun ann ->
+      let live =
+        (* The syntactic recheck cannot decide [@publication_ok]:
+           conservatively live. *)
+        ann.ann_name = "publication_ok"
+        || check_structure ?facts ~disabled:ann ~file ~scope structure <> base
+      in
+      {
+        audit_annotation = ann;
+        audit_rules = List.assoc ann.ann_name auditable_annotations;
+        audit_live = live;
+      })
+    (annotations_of_structure structure)
+
+let audit_string ?facts ?scope ~filename src =
+  let scope = match scope with Some s -> s | None -> scope_of_path filename in
+  match parse_string ~file:filename src with
+  | structure -> audit_structure ?facts ~file:filename ~scope structure
+  | exception _ -> []
+
+let audit_file ?facts ?scope path =
+  let scope = match scope with Some s -> s | None -> scope_of_path path in
+  audit_string ?facts ~scope ~filename:path (read_file path)
+
+(* ------------------------------------------------------------------ *)
+(* Output                                                               *)
 
 let pp_diagnostic ppf d =
   Format.fprintf ppf "%s:%d:%d: [%s] %s" d.file d.line d.col d.rule d.message
 
 let diagnostic_to_string d = Format.asprintf "%a" pp_diagnostic d
+
+(* Minimal SARIF 2.1.0 document — one run, one result per diagnostic,
+   columns converted from the 0-based compiler convention to SARIF's
+   1-based one. Shape-checked by test/test_lint.ml against the repo's
+   own Bench_json parser. *)
+let sarif_of_diagnostics diags =
+  let buf = Buffer.create 4096 in
+  let str s =
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"'
+  in
+  let raw = Buffer.add_string buf in
+  let comma_sep f = function
+    | [] -> ()
+    | x :: rest ->
+        f x;
+        List.iter
+          (fun y ->
+            raw ",";
+            f y)
+          rest
+  in
+  let rule_ids =
+    List.sort_uniq compare (List.map (fun d -> d.rule) diags)
+  in
+  raw "{";
+  raw "\"$schema\":";
+  str "https://json.schemastore.org/sarif-2.1.0.json";
+  raw ",\"version\":";
+  str "2.1.0";
+  raw ",\"runs\":[{\"tool\":{\"driver\":{\"name\":";
+  str "sec_lint";
+  raw ",\"informationUri\":";
+  str "docs/ANALYSIS.md";
+  raw ",\"rules\":[";
+  comma_sep
+    (fun id ->
+      raw "{\"id\":";
+      str id;
+      raw "}")
+    rule_ids;
+  raw "]}},\"results\":[";
+  comma_sep
+    (fun d ->
+      raw "{\"ruleId\":";
+      str d.rule;
+      raw ",\"level\":";
+      str "error";
+      raw ",\"message\":{\"text\":";
+      str d.message;
+      raw "},\"locations\":[{\"physicalLocation\":{\"artifactLocation\":{\"uri\":";
+      str d.file;
+      raw "},\"region\":{\"startLine\":";
+      raw (string_of_int d.line);
+      raw ",\"startColumn\":";
+      raw (string_of_int (d.col + 1));
+      raw "}}}]}")
+    diags;
+  raw "]}]}";
+  Buffer.contents buf

@@ -108,12 +108,9 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
                  pool-head store publishes the node again. *)
               n.chk <- Chk.note_recycle ~fiber:tid ~node:n.chk;
               n.value <- value;
-              A.set (n.ts [@unguarded_ok "node is private until published"])
-                pending;
-              A.set (n.taken [@unguarded_ok "node is private until published"])
-                false;
-              A.set (n.next [@unguarded_ok "node is private until published"])
-                (A.get t.pools.(tid));
+              A.set n.ts pending;
+              A.set n.taken false;
+              A.set n.next (A.get t.pools.(tid));
               n
           | None ->
               let chk = Chk.note_alloc ~fiber:tid in
@@ -149,10 +146,9 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
 
   (* First untaken node from the pool head — the pool's youngest. *)
   let rec youngest n =
-    (match n with
+    match n with
     | None -> None
-    | Some n -> if A.get n.taken then youngest (A.get n.next) else Some n)
-    [@unguarded_ok "pop/peek hold the guard across the whole scan"]
+    | Some n -> if A.get n.taken then youngest (A.get n.next) else Some n
 
   (* [n] is strictly younger than interval [(_, e)] if its interval starts
      after [e] ends. Overlapping intervals are unordered: either may win. *)
@@ -183,11 +179,7 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
         match young with
         | None -> loop (k + 1)
         | Some n ->
-            let ts =
-              A.get
-                (n.ts
-                [@unguarded_ok "pop/peek hold the guard across the whole scan"])
-            in
+            let ts = A.get n.ts in
             let start_of_interval = fst ts in
             if Int64.compare start_of_interval started > 0 then Take_now n
             else begin
@@ -200,10 +192,7 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
     in
     loop 0
 
-  let try_take n =
-    A.compare_and_set
-      (n.taken [@unguarded_ok "pop holds the guard across the take"])
-      false true
+  let try_take n = A.compare_and_set n.taken false true
 
   let unchanged t heads =
     let ok = ref true in

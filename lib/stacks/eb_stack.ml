@@ -105,7 +105,7 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
 
   let pop t ~tid =
     let rec attempt () =
-      (match A.get t.top with
+      match A.get t.top with
       | Nil -> None
       | Cons { value; next } as cur ->
           if A.compare_and_set t.top cur next then begin
@@ -121,10 +121,7 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
             | Some (Some v) -> Some v (* met a push *)
             | Some None -> assert false
             | None -> attempt ()
-          end)
-      [@await_ok
-        "the elimination layer IS the backoff: every retry first spends \
-         timeout-bounded rounds in the exchangers, doubling per failure"]
+          end
     in
     attempt ()
 

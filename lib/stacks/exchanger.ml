@@ -37,11 +37,11 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     let expired () = Int64.compare (P.now_ns ()) deadline > 0 in
     let pause spins = if spins > spin_budget then P.yield () else P.relax 8 in
     (* Both loops are deadline-bounded ([expired] exits every path) and
-       pace themselves through [pause]; the annotations discharge the
-       retry-discipline rule, which does not see through the local
-       helper. *)
+       pace themselves through [pause]; the interprocedural summary sees
+       the pacing through the local helper, so the retry-discipline rule
+       needs no annotation here. *)
     let rec attempt spins crowded =
-      (match A.get t.slot with
+      match A.get t.slot with
       | Empty ->
           let waiting = Waiting mine in
           if A.compare_and_set t.slot Empty waiting then
@@ -59,15 +59,18 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
           else begin
             pause spins;
             attempt (spins + 1) true
-          end)
-      [@await_ok "bounded by the timeout deadline, paced via pause"]
+          end
     and await waiting spins crowded =
       (* We installed [waiting]; either a partner upgrades it to [Busy] or
          we time out and tear it down (the CAS failing means a partner got
          in at the last moment). *)
-      (match A.get t.slot with
+      match A.get t.slot with
       | Busy (_, theirs) ->
-          A.set t.slot Empty;
+          (A.set t.slot Empty
+          [@publication_ok
+            "slot hand-off: while the slot is Busy neither CAS in attempt \
+             can hit it, so the waiter that read Busy is its only writer \
+             until this reset re-opens it"]);
           Exchanged theirs
       | Empty | Waiting _ ->
           if expired () then
@@ -82,8 +85,7 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
           else begin
             pause spins;
             await waiting (spins + 1) crowded
-          end)
-      [@await_ok "bounded by the timeout deadline, paced via pause"]
+          end
     in
     attempt 0 false
 end

@@ -60,7 +60,11 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     let rec await () =
       match A.get slot with
       | Done res ->
-          A.set slot Idle;
+          (A.set slot Idle
+          [@publication_ok
+            "slot hand-off: slots.(tid) is written by the combiner only \
+             while Pending; once it reads Done, the publishing thread owns \
+             it again until the next publication"]);
           res
       | Pending _ ->
           if try_lock t then begin

@@ -61,7 +61,13 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
     in
     let head = A.get t.pools.(tid) in
     let head' = skip head in
-    if head != head' then A.set t.pools.(tid) head'
+    if head != head' then
+      A.set t.pools.(tid) head'
+      [@publication_ok
+        "owner-only trim: the only concurrent pools.(tid) writer is a \
+         helper's pool_youngest CAS unlinking the same taken prefix; \
+         overwriting it can only resurrect taken nodes the next scan \
+         re-skips"]
 
   let push t ~tid value =
     trim_head t tid;
@@ -84,7 +90,11 @@ module Make (P : Sec_prim.Prim_intf.S) : Sec_spec.Stack_intf.S = struct
     in
     (* Publish first, then timestamp: the interval must cover a moment at
        which the node was already visible. *)
-    A.set t.pools.(tid) (Some node);
+    (A.set t.pools.(tid) (Some node)
+    [@publication_ok
+      "single-writer publication: pools.(tid) is pushed only by its owner, \
+       and losing a helper's concurrent unlink CAS merely resurrects a \
+       taken prefix behind the new node (re-skipped on the next scan)"]);
     let a = P.now_ns () in
     if t.delay > 0 then P.relax t.delay;
     let b = P.now_ns () in

@@ -1,0 +1,50 @@
+(* retry-discipline, interprocedurally: a spin loop that paces itself
+   only through a helper is clean — the summary analysis propagates the
+   pacing effect across the call — while a loop whose helper does no
+   pacing still fires even though a call sits in the body. The
+   syntactic rule alone cannot tell these apart; this fixture pins both
+   directions. The module binds neither [push] nor [pop], so the
+   progress-class rule stays out of the way. *)
+module A = Atomic
+
+type t = { flag : bool A.t; word : int A.t; misses : int A.t }
+
+(* Helper that paces: one call away from the loops below. *)
+let settle () = Prim.relax 8
+
+(* Helper that does not pace: counting a miss is not backoff. *)
+let note_miss t = A.incr t.misses
+
+(* Pacing hidden one call away: clean interprocedurally. *)
+let wait_ready t =
+  while not (A.get t.flag) do
+    settle ()
+  done
+
+(* The helper does not pace: still flagged. *)
+let wait_hard t =
+  while not (A.get t.flag) do (* EXPECT retry-discipline *)
+    note_miss t
+  done
+
+(* Recursive CAS loop paced through the helper: clean. *)
+let add t v =
+  let rec attempt () =
+    let cur = A.get t.word in
+    if not (A.compare_and_set t.word cur (cur + v)) then begin
+      settle ();
+      attempt ()
+    end
+  in
+  attempt ()
+
+(* Recursive CAS loop whose helper does not pace: still flagged. *)
+let bump t =
+  let rec attempt () = (* EXPECT retry-discipline *)
+    let cur = A.get t.word in
+    if not (A.compare_and_set t.word cur (cur + 1)) then begin
+      note_miss t;
+      attempt ()
+    end
+  in
+  attempt ()

@@ -1,0 +1,43 @@
+(* plain-publication (rule 10): a get x ... set x read-modify-plain-write
+   chain on an atomic written from two or more entry points, with no
+   ordering RMW in between, loses a concurrent write — the static mirror
+   of the dynamic detector's write-write-race model. The chain may live
+   in one function or span helper calls; the syntactic lint sees
+   neither, the summary analysis sees both. *)
+module A = Atomic
+
+type t = { hits : int A.t; mode : int A.t; epoch : int A.t }
+
+(* Two entry points plain-write [hits] — rule 10's precondition (a
+   single writer cannot lose its own update). *)
+let reset t = A.set t.hits 0
+
+(* Direct chain: get, compute, plain set. *)
+let bump t =
+  let n = A.get t.hits in
+  A.set t.hits (n + 1) (* EXPECT plain-publication *)
+
+(* Split across helpers: [current] reads, [publish] plain-writes; the
+   chain exists only in the caller, flagged at the call completing it. *)
+let current t = A.get t.mode
+let publish t m = A.set t.mode m
+
+let widen t =
+  let m = current t in
+  publish t (m * 2) (* EXPECT plain-publication *)
+
+let clear t = A.set t.epoch 0
+
+(* Discharged: the fetch_and_add between the read and the store is an
+   ordering RMW, so the plain store cannot lose a concurrent update. *)
+let rotate t =
+  let e = A.get t.epoch in
+  let _ = A.fetch_and_add t.epoch 1 in
+  if e > 1000 then A.set t.epoch 0
+
+(* Suppressed: the lost update is benign by protocol, and the author
+   signs a reason. *)
+let refresh t =
+  let m = A.get t.mode in
+  A.set t.mode (m lor 1)
+  [@publication_ok "mode bits are advisory; a lost refresh re-applies"]

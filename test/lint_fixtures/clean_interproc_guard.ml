@@ -1,0 +1,60 @@
+(* Clean interprocedural EBR: obligations discharged across calls, no
+   annotations needed. Three shapes:
+   - a helper chain ([scan]) whose every call site runs under a guard —
+     the context fixpoint proves it, recursion included;
+   - a guard wrapper ([guarded]: guards its bare function parameter),
+     whose literal-lambda arguments become guarded spans;
+   - a retire helper ([unlink]) whose only call site is CAS-gated.
+   The signature constraint keeps the helpers internal, which is what
+   lets the context fixpoint pin their call sites. The self-test
+   asserts the lint reports nothing here. *)
+module A = Atomic
+module E = Ebr.Make (Prim)
+
+module type STACK = sig
+  type 'a t
+
+  val pop : 'a t -> tid:int -> 'a option
+  val peek : 'a t -> tid:int -> 'a option
+  val bottom : 'a t -> tid:int -> 'a option
+end
+
+module Make () : STACK = struct
+  type 'a node = { value : 'a; next : 'a node option A.t }
+  type 'a t = { top : 'a node option A.t; ebr : E.t }
+
+  (* Every call site is inside a guard extent; no [@unguarded_ok]. *)
+  let rec scan n =
+    match n with
+    | None -> None
+    | Some n -> (
+        match A.get n.next with None -> Some n.value | tail -> scan tail)
+
+  (* Guard wrapper: guards the function it is given. *)
+  let guarded t ~tid f = E.guard t.ebr ~tid f
+
+  (* Retire helper: its only call site sits in the CAS-selected branch,
+     so the context fixpoint discharges retire-once; no [@retire_ok]. *)
+  let unlink t ~tid _n = E.retire t.ebr ~tid (fun () -> ())
+
+  let bottom t ~tid = guarded t ~tid (fun () -> scan (A.get t.top))
+  let peek t ~tid = E.guard t.ebr ~tid (fun () -> scan (A.get t.top))
+
+  let pop t ~tid =
+    E.guard t.ebr ~tid (fun () ->
+        let backoff = Backoff.create () in
+        let rec attempt () =
+          match A.get t.top with
+          | None -> None
+          | Some n as cur ->
+              if A.compare_and_set t.top cur (A.get n.next) then begin
+                unlink t ~tid n;
+                Some n.value
+              end
+              else begin
+                Backoff.once backoff;
+                attempt ()
+              end
+        in
+        attempt ())
+end

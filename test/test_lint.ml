@@ -418,21 +418,167 @@ let test_clean_fixture () =
   Alcotest.(check int) "idiomatic module is clean" 0 (List.length (check src))
 
 (* The real tree must be clean after this PR's fixes: run the same check
-   the @lint alias runs over a few load-bearing files. *)
+   the @lint alias runs (interprocedural facts included — several
+   annotations were deleted because the summaries discharge them) over a
+   few load-bearing files. *)
+module Summary = Sec_summary.Summary
+
+(* The summary environment must cover the whole library, exactly as the
+   @lint alias runs it: signature constraints (e.g. [Stack_intf.S])
+   resolve through other files, and an unresolved constraint makes
+   every binding an entry point, re-arming helper obligations. *)
+let rec gather path acc =
+  if Sys.is_directory path then
+    Array.fold_left
+      (fun acc e -> gather (Filename.concat path e) acc)
+      acc (Sys.readdir path)
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
 let test_repo_files_clean () =
-  List.iter
-    (fun path ->
-      if Sys.file_exists path then
-        match L.check_file path with
+  if Sys.file_exists "../lib" then begin
+    let env = Summary.analyze (gather "../lib" []) in
+    List.iter
+      (fun path ->
+        match L.check_file ~facts:(Summary.facts_for env ~file:path) path with
         | [] -> ()
         | ds ->
             Alcotest.failf "%s: %s" path
               (String.concat "; " (List.map L.diagnostic_to_string ds)))
+      [
+        "../lib/core/sec_stack.ml";
+        "../lib/stacks/ccsynch.ml";
+        "../lib/stacks/exchanger.ml";
+        "../lib/stacks/eb_stack.ml";
+        "../lib/reclaim/ebr.ml";
+        "../lib/reclaim/ts_stack_ebr.ml";
+      ]
+  end
+
+(* check_string and check_file share one location pipeline: linting the
+   same bytes from memory and from disk must produce identical
+   diagnostics, columns included (multi-line annotations used to
+   disagree). *)
+let test_check_string_file_agree () =
+  let path = "../lib/stacks/ts_stack.ml" in
+  if Sys.file_exists path then begin
+    let src = L.read_file path in
+    let of_file = L.check_file path in
+    let of_string = L.check_string ~filename:path src in
+    Alcotest.(check (list string)) "identical diagnostics"
+      (List.map L.diagnostic_to_string of_file)
+      (List.map L.diagnostic_to_string of_string)
+  end
+
+(* -------------------------------------------------------------------- *)
+(* Audit: live and stale annotations *)
+
+let audit ?facts src =
+  L.audit_string ?facts ~scope:discipline_scope ~filename:"fixture.ml" src
+
+let test_audit_live_annotation () =
+  (* Removing the annotation would add an ebr-guard diagnostic, so it is
+     live. *)
+  let src =
+    ebr_prelude ^ "let value_of n = n.value [@unguarded_ok \"callers guard\"]\n"
+  in
+  match audit src with
+  | [ e ] ->
+      Alcotest.(check string) "name" "unguarded_ok"
+        e.L.audit_annotation.L.ann_name;
+      Alcotest.(check bool) "live" true e.L.audit_live
+  | es -> Alcotest.failf "expected one audit entry, got %d" (List.length es)
+
+let test_audit_stale_annotation () =
+  (* The annotated expression never fires any rule: removal changes
+     nothing, so the annotation is stale. *)
+  let src = "let f () = (0 [@await_ok \"pointless\"])\n" in
+  match audit src with
+  | [ e ] ->
+      Alcotest.(check string) "name" "await_ok"
+        e.L.audit_annotation.L.ann_name;
+      Alcotest.(check bool) "stale" false e.L.audit_live
+  | es -> Alcotest.failf "expected one audit entry, got %d" (List.length es)
+
+let test_audit_facts_make_annotation_stale () =
+  (* A loop paced only through a helper: syntactically the [@await_ok]
+     is load-bearing, interprocedurally it is redundant — the summary
+     facts flip the audit verdict. This is the exchanger/eb_stack
+     cleanup this PR applied to the real tree. *)
+  let src =
+    "module A = Atomic\n\
+     let settle () = Prim.relax 8\n\
+     let wait f = (while not (A.get f) do settle () done) [@await_ok \"x\"]\n"
+  in
+  (match audit src with
+  | [ e ] -> Alcotest.(check bool) "live without facts" true e.L.audit_live
+  | es -> Alcotest.failf "expected one audit entry, got %d" (List.length es));
+  let env =
+    Summary.analyze_sources ~scope:discipline_scope [ ("fixture.ml", src) ]
+  in
+  match audit ~facts:(Summary.facts_for env ~file:"fixture.ml") src with
+  | [ e ] -> Alcotest.(check bool) "stale with facts" false e.L.audit_live
+  | es -> Alcotest.failf "expected one audit entry, got %d" (List.length es)
+
+(* -------------------------------------------------------------------- *)
+(* SARIF output shape *)
+
+module J = Sec_harness.Bench_json
+
+let test_sarif_shape () =
+  let ds =
     [
-      "../lib/core/sec_stack.ml";
-      "../lib/stacks/ccsynch.ml";
-      "../lib/reclaim/ebr.ml";
+      {
+        L.file = "lib/stacks/x.ml";
+        line = 3;
+        col = 5;
+        rule = "ebr-guard";
+        message = "naked deref of \"n\"";
+      };
+      {
+        L.file = "lib/stacks/y.ml";
+        line = 7;
+        col = 0;
+        rule = "plain-publication";
+        message = "lost update";
+      };
     ]
+  in
+  let doc = J.parse (L.sarif_of_diagnostics ds) in
+  Alcotest.(check string) "version" "2.1.0" J.(to_str (member "version" doc));
+  let run =
+    match J.member "runs" doc with
+    | J.Arr [ r ] -> r
+    | _ -> Alcotest.fail "expected exactly one run"
+  in
+  let driver = J.(member "driver" (member "tool" run)) in
+  Alcotest.(check string) "tool name" "sec_lint"
+    J.(to_str (member "name" driver));
+  (match J.member "rules" driver with
+  | J.Arr rules ->
+      Alcotest.(check (list string)) "rule ids, sorted and unique"
+        [ "ebr-guard"; "plain-publication" ]
+        (List.map (fun r -> J.(to_str (member "id" r))) rules)
+  | _ -> Alcotest.fail "expected a rules array");
+  match J.member "results" run with
+  | J.Arr [ r1; _ ] ->
+      Alcotest.(check string) "ruleId" "ebr-guard"
+        J.(to_str (member "ruleId" r1));
+      Alcotest.(check string) "level" "error" J.(to_str (member "level" r1));
+      Alcotest.(check string) "message text" "naked deref of \"n\""
+        J.(to_str (member "text" (member "message" r1)));
+      let phys =
+        match J.member "locations" r1 with
+        | J.Arr [ l ] -> J.member "physicalLocation" l
+        | _ -> Alcotest.fail "expected one location"
+      in
+      Alcotest.(check string) "uri" "lib/stacks/x.ml"
+        J.(to_str (member "uri" (member "artifactLocation" phys)));
+      let region = J.member "region" phys in
+      Alcotest.(check int) "startLine" 3 J.(to_int (member "startLine" region));
+      Alcotest.(check int) "startColumn" 6
+        J.(to_int (member "startColumn" region))
+  | _ -> Alcotest.fail "expected two results"
 
 let () =
   Alcotest.run "lint"
@@ -535,5 +681,18 @@ let () =
             test_parse_error_is_a_diagnostic;
           Alcotest.test_case "clean fixture" `Quick test_clean_fixture;
           Alcotest.test_case "repo files clean" `Quick test_repo_files_clean;
+          Alcotest.test_case "check_string agrees with check_file" `Quick
+            test_check_string_file_agree;
         ] );
+      ( "audit",
+        [
+          Alcotest.test_case "live annotation" `Quick
+            test_audit_live_annotation;
+          Alcotest.test_case "stale annotation" `Quick
+            test_audit_stale_annotation;
+          Alcotest.test_case "facts flip liveness" `Quick
+            test_audit_facts_make_annotation_stale;
+        ] );
+      ( "sarif",
+        [ Alcotest.test_case "document shape" `Quick test_sarif_shape ] );
     ]
