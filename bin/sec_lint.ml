@@ -2,33 +2,44 @@
 
    Default mode: walk the given files and directories (recursively,
    *.ml only), run the interprocedural summary analysis
-   (Sec_summary.Summary) over the whole set, lint each file with the
-   resulting facts (rules 1-9, obligations discharged across call
-   boundaries), add the rule-10 plain-publication diagnostics, print
-   every diagnostic as file:line:col, and exit non-zero if any were
-   found. Wired into the build as [dune build @lint], which
-   [dune runtest] depends on — so a discipline violation fails the
-   tier-1 check. Output modes: [--json] emits a JSON array of
-   {file, line, col, rule, message}; [--sarif] emits a SARIF 2.1.0
-   document for CI code-scanning upload (exit status unchanged).
+   (Sec_summary.Summary) and the path-sensitive typestate analysis
+   (Sec_typestate.Typestate) over the whole set, lint each file with
+   the composed facts (rules 1-9, obligations discharged across call
+   boundaries and by CFG guard-depth proofs), add the rule-10
+   plain-publication and rule 11-13 typestate diagnostics, print every
+   diagnostic as file:line:col, and exit non-zero if any were found.
+   Wired into the build as [dune build @lint], which [dune runtest]
+   depends on — so a discipline violation fails the tier-1 check.
+   Output modes: [--json] emits a JSON array of {file, line, col,
+   rule, message}; [--sarif] emits a SARIF 2.1.0 document for CI
+   code-scanning upload (exit status unchanged).
 
    Audit mode: [sec_lint --audit <dir>] rechecks every suppression
    annotation with that one occurrence treated as absent; annotations
    whose removal leaves the diagnostic set unchanged are stale and
    reported (exit 1), together with per-rule suppression counts.
    [@publication_ok] is counted but not staleness-probed (its rule
-   lives in the summary analysis, not the syntactic recheck).
+   lives in the summary analysis, not the syntactic recheck);
+   [@await_ok] is probed by the syntactic recheck AND by the typestate
+   rule-12 reclassification, merged by disjunction — an annotation
+   that keeps a wait out of the stuck class of a declared-lock_free
+   module is live even when rules 6/7 no longer need it.
 
    Self-test mode: [sec_lint --selftest <dir>] checks the fixture files
-   under <dir> (discipline scope forced on, summaries built over the
-   fixture set) against their inline "(* EXPECT rule *)" markers,
-   failing on any missing or unexpected diagnostic. Wired in as
-   [dune build @lint-selftest]; it keeps the rules honest — a rule that
-   silently stops firing breaks the build, same as one that starts
-   flagging clean idioms. *)
+   under <dir> (discipline scope forced on, summaries and typestate
+   built over the fixture set) against their inline
+   "(* EXPECT rule *)" markers, failing on any missing or unexpected
+   diagnostic — and against a pinned total marker count, so silently
+   dropping a fixture (or its markers) breaks the build too. Wired in
+   as [dune build @lint-selftest].
+
+   Explain mode: [sec_lint --explain <rule>] prints the rule's
+   one-paragraph documentation and its suppression annotation (if it
+   has one). *)
 
 module L = Sec_lint_rules.Lint_rules
 module Summary = Sec_summary.Summary
+module Typestate = Sec_typestate.Typestate
 
 let rec gather path acc =
   if not (Sys.file_exists path) then begin
@@ -76,18 +87,22 @@ let print_json diagnostics =
   if diagnostics <> [] then print_string "\n";
   print_string "]\n"
 
-(* Lint [files] as one corpus: one summary environment, per-file facts,
-   plus the whole-environment rule-10 diagnostics. *)
+(* Lint [files] as one corpus: one summary environment, one typestate
+   analysis, per-file composed facts, plus the whole-environment
+   rule-10 and rule 11-13 diagnostics. *)
 let check_corpus ?scope files =
   let env = Summary.analyze ?scope files in
+  let ts = Typestate.analyze ~summary:env ?scope files in
+  let facts file =
+    Typestate.facts_with ts ~file (Summary.facts_for env ~file)
+  in
   let diagnostics =
-    List.concat_map
-      (fun file ->
-        L.check_file ?scope ~facts:(Summary.facts_for env ~file) file)
-      files
+    List.concat_map (fun file -> L.check_file ?scope ~facts:(facts file) file) files
     @ Summary.publication_diagnostics env
+    @ Typestate.diagnostics ts
   in
   ( env,
+    ts,
     List.sort
       (fun (a : L.diagnostic) b ->
         compare (a.file, a.line, a.col, a.rule) (b.file, b.line, b.col, b.rule))
@@ -96,7 +111,7 @@ let check_corpus ?scope files =
 type output = Text | Json | Sarif
 
 let lint ~output files =
-  let _env, diagnostics = check_corpus files in
+  let _env, _ts, diagnostics = check_corpus files in
   (match output with
   | Json -> print_json diagnostics
   | Sarif -> print_string (L.sarif_of_diagnostics diagnostics)
@@ -115,12 +130,32 @@ let lint ~output files =
 
 let audit files =
   let env = Summary.analyze files in
+  let ts = Typestate.analyze ~summary:env files in
+  let facts file =
+    Typestate.facts_with ts ~file (Summary.facts_for env ~file)
+  in
   let entries =
     List.concat_map
       (fun file ->
         List.map
-          (fun e -> (file, e))
-          (L.audit_file ~facts:(Summary.facts_for env ~file) file))
+          (fun (e : L.audit_entry) ->
+            (* the typestate rule-12 probe: an [@await_ok] whose removal
+               flips a module's static progress verdict is live even if
+               the syntactic recheck no longer needs it *)
+            let e =
+              if e.audit_annotation.ann_name = "await_ok" && not e.audit_live
+              then
+                match
+                  Typestate.audit_await ts ~file
+                    ~line:e.audit_annotation.ann_line
+                    ~col:e.audit_annotation.ann_col
+                with
+                | Some true -> { e with audit_live = true }
+                | _ -> e
+              else e
+            in
+            (file, e))
+          (L.audit_file ~facts:(facts file) file))
       files
   in
   let count name =
@@ -158,7 +193,162 @@ let audit files =
     exit 1
   end
 
+(* --- explain mode -------------------------------------------------- *)
+
+(* (rule, suppression annotation or None, one-paragraph doc). *)
+let rule_docs =
+  [
+    ( "mutable-field",
+      Some "plain_ok",
+      "Rule 1. Algorithm modules must not declare [mutable] record \
+       fields: a plain store to shared state is invisible to the \
+       memory-model machinery and the dynamic race detector's \
+       publication analysis. Use an Atomic.t cell, or annotate the \
+       field [@plain_ok \"publication argument\"] explaining why the \
+       store is safely published (e.g. written only before the value \
+       escapes its constructor)." );
+    ( "unpadded-atomic",
+      Some "unpadded_ok",
+      "Rule 2. Atomics stored in long-lived shared blocks (records, \
+       arrays) share cache lines with their neighbours, so independent \
+       cells false-share. Allocate them with make_padded, or annotate \
+       [@unpadded_ok \"reason\"] when the cells are deliberately \
+       colocated (e.g. always written together by one owner)." );
+    ( "obj-confinement",
+      None,
+      "Rule 3. Obj.* escapes the type system and is confined to \
+       lib/prim/padding.ml, the one place the repo deliberately plays \
+       layout tricks. There is no suppression annotation: move the \
+       code, or extend the padding primitive." );
+    ( "ebr-guard",
+      Some "unguarded_ok",
+      "Rule 4. In discipline modules referencing Ebr, reads of node \
+       record fields must happen inside a guard extent — otherwise a \
+       concurrent retire/sweep can free the node under the reader. The \
+       syntactic check accepts a lexical guard call; the summary \
+       analysis discharges reads in helpers whose every call site is \
+       guarded; the typestate analysis discharges reads at positions \
+       proved guard-depth >= 1 on every CFG path. Otherwise annotate \
+       [@unguarded_ok \"reason\"]." );
+    ( "retire-once",
+      Some "retire_ok",
+      "Rule 5. A node may be retired exactly once, by the thread that \
+       unlinked it; the syntactic witness is a retire call inside a \
+       branch selected by a compare_and_set. Retires elsewhere need \
+       [@retire_ok \"reason\"] (e.g. a drain loop that owns the whole \
+       structure)." );
+    ( "retry-discipline",
+      Some "await_ok",
+      "Rule 6. A retry loop on shared atomic state (a while on an \
+       atomic read, or a recursive CAS/exchange loop) must pace itself \
+       with a Backoff/relax/yield call, or carry [@await_ok \"why the \
+       wait is bounded\"]. Unpaced spinning saturates the interconnect \
+       exactly when the system is most contended." );
+    ( "progress-class",
+      Some "await_ok",
+      "Rule 7. A module binding both push and pop must declare \
+       [@@@progress \"lock_free\"] or [@@@progress \"blocking\"], and a \
+       lock_free module must not wait unboundedly on another thread's \
+       write (spin_until/spin_while outside an [@await_ok] extent). The \
+       declaration is cross-checked three ways: by this rule, by the \
+       dynamic suspension classifier, and by the typestate rule 12 \
+       static verdict." );
+    ( "fresh-node",
+      Some "fresh_ok",
+      "Rule 8. In modules recycling nodes through Magazine, node record \
+       literals must be the magazine-miss fallback (Mag.alloc first); a \
+       literal elsewhere silently defeats recycling. Annotate \
+       [@fresh_ok \"reason\"] for deliberate fresh allocations \
+       (initialisation, sentinel nodes)." );
+    ( "spec-class",
+      None,
+      "Rule 9. Modules recycling nodes must declare the sequential spec \
+       their histories refine — [@@@spec \"stack\"] (strict LIFO) or \
+       [@@@spec \"pool\"] (order-relaxed bag) — matching the registry \
+       entry's spec field, which selects the refinement properties \
+       checked dynamically. No suppression: the declaration is the \
+       point." );
+    ( "plain-publication",
+      Some "publication_ok",
+      "Rule 10. A get x ... set x read-modify-plain-write chain on an \
+       atomic cell written by two or more entry points, with no \
+       ordering RMW between the read and the plain store, is a lost \
+       update waiting to happen — the static mirror of the dynamic \
+       detector's write-write-race model. Computed over the \
+       interprocedural summaries (the chain may span helper calls). \
+       Annotate [@publication_ok \"reason\"] when the store is a \
+       single-writer publication." );
+    ( "guard-balance",
+      None,
+      "Rule 11. Direct EBR enter/exit pairs must balance on every CFG \
+       path, including exception edges: an exit at depth zero, a path \
+       that returns or raises with the epoch still pinned, and paths \
+       that disagree on the depth are each diagnosed. There is no \
+       suppression annotation — an unbalanced guard is a leak (the \
+       epoch never advances past the stuck reservation) or a \
+       use-after-unpin; fix the control flow, or use the exception-safe \
+       Ebr.guard wrapper." );
+    ( "loop-progress",
+      Some "await_ok",
+      "Rule 12. Every loop is classified bounded (for-loops, monotone \
+       counters with a comparison exit, deadline checks reading now_ns, \
+       no shared atomic state, or an author-certified [@await_ok] \
+       extent), cas-retry (retries that update shared state or chase \
+       freshly read links) or stuck-spin (waits only another thread's \
+       write can end). A module whose top-level operations can reach a \
+       stuck wait through the resolved call graph is statically \
+       Blocking; a [@@@progress] declaration disagreeing with the \
+       verdict is diagnosed at the declaration. [@await_ok] moves a \
+       wait into the bounded class — and the audit re-proves each \
+       occurrence by reclassifying without it." );
+    ( "protocol",
+      None,
+      "Rule 13. [@@@protocol \"name: s1 -kind:field-> s2; ...\"] \
+       declares a state machine over the file's atomic fields (kind is \
+       read/write/rmw; field is the last path component of the accessed \
+       cell; the first-listed source state is the start state). Every \
+       top-level function is checked from the start state over all CFG \
+       paths, stepping through same-file calls; an access to a declared \
+       (kind, field) event with no enabled transition from any current \
+       state is a violation at that access. No suppression annotation — \
+       fix the access order, or fix the automaton if the protocol \
+       genuinely changed." );
+    ( "unknown-annotation",
+      None,
+      "Hygiene rule. An annotation name ending in _ok that is not one \
+       of the recognised suppression annotations (a typo like \
+       [@awiat_ok]) suppresses nothing while looking like it does; \
+       likewise a floating declaration within edit distance 2 of \
+       progress/spec/protocol ([@@@progess]). Both are diagnosed with \
+       the nearest recognised name. Fix the spelling." );
+    ( "parse-error",
+      None,
+      "Reported when a file under lint does not parse; the analyses \
+       contribute nothing for that file. Fix the syntax error." );
+  ]
+
+let explain rule =
+  match List.find_opt (fun (r, _, _) -> r = rule) rule_docs with
+  | Some (r, suppress, doc) ->
+      Printf.printf "[%s]\n%s\n" r doc;
+      (match suppress with
+      | Some ann ->
+          Printf.printf "suppression annotation: [@%s \"reason\"]\n" ann
+      | None -> Printf.printf "suppression annotation: none\n");
+      exit 0
+  | None ->
+      Printf.eprintf "sec_lint --explain: unknown rule %S\navailable: %s\n"
+        rule
+        (String.concat ", " (List.map (fun (r, _, _) -> r) rule_docs));
+      exit 2
+
 (* --- self-test mode ------------------------------------------------ *)
+
+(* The total number of EXPECT markers across the fixture corpus. A
+   fixture (or a marker) silently dropping out of the corpus would
+   otherwise pass the per-file check vacuously; update this pin when
+   adding or removing fixture expectations. *)
+let pinned_expect_total = 27
 
 (* "(* EXPECT rule-name *)" anywhere in [line]. *)
 let expectation_of_line line =
@@ -203,10 +393,11 @@ let selftest dir =
     exit 2
   end;
   (* Fixtures are checked as if they lived in an algorithm directory,
-     with summaries built over the whole fixture set so interprocedural
-     fixtures exercise the facts and rule-10 paths. *)
+     with summaries and typestate built over the whole fixture set so
+     interprocedural fixtures exercise the facts and rule 10-13
+     paths. *)
   let scope = { L.check_discipline = true; allow_obj = false } in
-  let _env, diagnostics = check_corpus ~scope files in
+  let _env, _ts, diagnostics = check_corpus ~scope files in
   let failures = ref 0 in
   let expected_total = ref 0 in
   List.iter
@@ -237,6 +428,13 @@ let selftest dir =
           end)
         got)
     files;
+  if !expected_total <> pinned_expect_total then begin
+    incr failures;
+    Printf.printf
+      "PIN      corpus has %d EXPECT markers, pinned total is %d — update \
+       pinned_expect_total in bin/sec_lint.ml if the change is deliberate\n"
+      !expected_total pinned_expect_total
+  end;
   if !failures = 0 then begin
     Printf.printf "sec_lint --selftest: %d fixtures, %d expectations, all ok\n"
       (List.length files) !expected_total;
@@ -256,18 +454,22 @@ let () =
   in
   let audit_mode = List.mem "--audit" args in
   let args =
-    List.filter (fun a -> a <> "--json" && a <> "--sarif" && a <> "--audit") args
+    List.filter
+      (fun a -> a <> "--json" && a <> "--sarif" && a <> "--audit")
+      args
   in
   let usage () =
     prerr_endline
       "usage: sec_lint [--json|--sarif] <file-or-directory>...\n\
       \       sec_lint --audit <file-or-directory>...\n\
-      \       sec_lint --selftest <dir>";
+      \       sec_lint --selftest <dir>\n\
+      \       sec_lint --explain <rule>";
     exit 2
   in
   match args with
-  | [] | [ "--selftest" ] -> usage ()
+  | [] | [ "--selftest" ] | [ "--explain" ] -> usage ()
   | [ "--selftest"; dir ] -> selftest dir
+  | [ "--explain"; rule ] -> explain rule
   | args ->
       let files = List.concat_map (fun p -> List.rev (gather p [])) args in
       if audit_mode then audit files else lint ~output files

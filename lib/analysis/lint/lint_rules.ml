@@ -397,6 +397,22 @@ let covering_annotations =
     ("fresh_ok", fun ctx -> { ctx with fresh_covered = true });
   ]
 
+(* Edit distance, for the unknown-annotation suggestions. *)
+let levenshtein a b =
+  let la = String.length a and lb = String.length b in
+  let prev = Array.init (lb + 1) Fun.id in
+  let cur = Array.make (lb + 1) 0 in
+  for i = 1 to la do
+    cur.(0) <- i;
+    for j = 1 to lb do
+      let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+      cur.(j) <-
+        min (min (cur.(j - 1) + 1) (prev.(j) + 1)) (prev.(j - 1) + cost)
+    done;
+    Array.blit cur 0 prev 0 (lb + 1)
+  done;
+  prev.(lb)
+
 (* The names the audit probes, with the rules each one suppresses. *)
 let auditable_annotations =
   [
@@ -840,6 +856,76 @@ let check_structure ?(facts = no_facts) ?disabled ~file ~scope structure =
     }
   in
   iterator.structure iterator structure;
+
+  (* Unknown-annotation rule: a typo'd suppression ([@awiat_ok]) or a
+     typo'd floating declaration ([@@@progess]) silently suppresses or
+     declares nothing — flag names that look like ours but are not. *)
+  (if scope.check_discipline then begin
+     let known = List.map fst auditable_annotations in
+     let floating = [ "progress"; "spec"; "protocol" ] in
+     let suggest candidates name =
+       List.fold_left
+         (fun best cand ->
+           let d = levenshtein name cand in
+           match best with
+           | Some (_, bd) when bd <= d -> best
+           | _ -> if d <= 2 then Some (cand, d) else best)
+         None candidates
+     in
+     let check_suffix_ok (a : attribute) =
+       let name = a.attr_name.Location.txt in
+       if
+         String.length name > 3
+         && String.sub name (String.length name - 3) 3 = "_ok"
+         && not (List.mem name known)
+       then
+         add a.attr_name.Location.loc "unknown-annotation"
+           (match suggest known name with
+           | Some (cand, _) ->
+               Printf.sprintf
+                 "[@%s] is not a recognised suppression annotation and \
+                  suppresses nothing — did you mean [@%s]?"
+                 name cand
+           | None ->
+               Printf.sprintf
+                 "[@%s] is not a recognised suppression annotation and \
+                  suppresses nothing (known: %s)"
+                 name
+                 (String.concat ", " (List.map (fun n -> "[@" ^ n ^ "]") known)))
+     in
+     let check_floating (a : attribute) =
+       let name = a.attr_name.Location.txt in
+       if
+         (not (List.mem name floating))
+         && (not (String.length name >= 6 && String.sub name 0 6 = "ocaml."))
+       then
+         match suggest floating name with
+         | Some (cand, _) ->
+             add a.attr_name.Location.loc "unknown-annotation"
+               (Printf.sprintf
+                  "[@@@%s] is not a recognised declaration — did you mean \
+                   [@@@%s]?"
+                  name cand)
+         | None -> ()
+     in
+     let it =
+       {
+         Ast_iterator.default_iterator with
+         attribute =
+           (fun it a ->
+             check_suffix_ok a;
+             Ast_iterator.default_iterator.attribute it a);
+         structure_item =
+           (fun it si ->
+             (match si.pstr_desc with
+             | Pstr_attribute a -> check_floating a
+             | _ -> ());
+             Ast_iterator.default_iterator.structure_item it si);
+       }
+     in
+     it.structure it structure
+   end);
+
   (* Diagnostics in source order. *)
   List.sort
     (fun a b -> compare (a.line, a.col, a.rule) (b.line, b.col, b.rule))

@@ -1,6 +1,8 @@
 (** Static lint for the repo's shared-memory discipline.
 
-    Ten rule classes, reported as [file:line:col] diagnostics:
+    The syntactic rule classes, reported as [file:line:col] diagnostics
+    (rules 11-13 — [guard-balance], [loop-progress], [protocol] — are
+    path-sensitive and live in {!Sec_typestate.Typestate}):
     - [mutable-field]: no [mutable] record field in algorithm modules
       without [@plain_ok "publication argument"];
     - [unpadded-atomic]: atomics stored in long-lived shared blocks
@@ -185,6 +187,11 @@ val is_spin_wait_ident : Longident.t -> bool
 
 val is_array_get : Longident.t -> bool
 (** [Array.get] / [Array.unsafe_get], the desugaring of [a.(i)] *)
+
+(** Does the expression's subtree contain an identifier satisfying the
+    predicate? *)
+val expr_contains_ident :
+  (Longident.t -> bool) -> Parsetree.expression -> bool
 
 (** Payload of a [\[@attr "reason"\]] attribute, when it is a string
     constant. *)

@@ -1164,6 +1164,36 @@ let may_write_sites env =
 
 let entries env = env.entry_set
 let functions env = List.rev env.order
+
+(* Top-level functions of [file] with their binding line spans, in
+   definition order — the typestate analysis' unit list. *)
+let file_functions env ~file =
+  List.rev env.order
+  |> List.filter_map (fun k ->
+         let fn : fn = Hashtbl.find env.fns k in
+         if fn.file = file && fn.top_level then Some (k, fn.span) else None)
+
+(* Every resolved call site in [file]: the (line, col) of the whole
+   application expression, mapped to the callee's key, defining file and
+   binding span. The typestate CFG records call ops at the same
+   position, so the pair is a join key. *)
+let resolved_calls env ~file =
+  let acc = ref [] in
+  Hashtbl.iter
+    (fun _ (fn : fn) ->
+      if fn.file = file then
+        List.iter
+          (function
+            | Call { cline; ccol; callee = Some key; _ } -> (
+                match Hashtbl.find_opt env.fns key with
+                | Some callee ->
+                    acc :=
+                      ((cline, ccol), (key, callee.file, callee.span)) :: !acc
+                | None -> ())
+            | _ -> ())
+          fn.events)
+    env.fns;
+  List.sort compare !acc
 let total_effects env key = total env key
 let effect_rounds env = env.eff_rounds
 let ctx_rounds env = env.ctx_rounds_v

@@ -103,6 +103,19 @@ val functions : env -> string list
 (** Transitive effects of a function; {!no_effects} for unknown keys. *)
 val total_effects : env -> string -> effects
 
+(** Top-level functions of [file] as [(key, (start_line, end_line))] in
+    definition order — the unit list the typestate analysis
+    ({!Sec_typestate.Typestate}) builds one CFG per entry of. *)
+val file_functions : env -> file:string -> (string * (int * int)) list
+
+(** Every resolved call site in [file]:
+    [((line, col), (callee_key, callee_file, callee_span))], sorted.
+    Positions are of the whole application expression, matching the
+    call ops the typestate CFG records, so the pair serves as a join
+    key between the two analyses. *)
+val resolved_calls :
+  env -> file:string -> ((int * int) * (string * string * (int * int))) list
+
 (** Entry points whose transitive effect plain-writes or RMWs the
     cell. *)
 val cell_writers : env -> string -> String_set.t

@@ -1,0 +1,120 @@
+(** Path-sensitive typestate analysis over per-function control-flow
+    graphs — the static prong's third stage (docs/ANALYSIS.md,
+    "Typestate prong").
+
+    Where {!Sec_lint_rules.Lint_rules} matches syntactic extents and
+    {!Sec_summary.Summary} flattens each function to an event stream,
+    this module keeps branch, loop and exception structure: one CFG per
+    top-level binding (expression-level [let rec] groups become
+    intra-CFG back edges, immediate-lambda arguments of higher-order
+    calls become one-or-more-iteration loops, [try]/[match ... with
+    exception] handlers become exception edges), plus a forward
+    abstract-interpretation engine over join-semilattices, widened at
+    loop heads by capping the lattices (guard depth saturates, protocol
+    states form a finite power set). Call sites are resolved through
+    the summary environment ({!Sec_summary.Summary.resolved_calls}),
+    which is also where callee atomic effects come from.
+
+    Three rules run on top of the engine:
+
+    - rule 11, [guard-balance] — direct EBR [enter]/[exit] pairs (an
+      application of an ident whose last component is [enter]/[exit]
+      with a labelled [~tid] argument) must balance on {e every} path,
+      including exception edges; an [exit] at depth zero, a path that
+      returns or raises with the epoch still pinned, and paths that
+      disagree on the depth are each diagnosed. Positions that are
+      {e definitely} guarded (depth >= 1 on all paths) are exported as
+      facts ({!facts_with}) that discharge rule 4 the same way summary
+      facts do — which is how every [[@unguarded_ok]] is re-proved or
+      stale-flagged by [sec_lint --audit].
+    - rule 12, [loop-progress] — every loop (a [while], a recursive
+      binding group, a [spin_until]/[spin_while] call site) is
+      classified {!Bounded} (for-loops, monotone counters with a
+      comparison exit, deadline checks reading [now_ns], no shared
+      atomic state, or an author-certified [[@await_ok]] extent),
+      {!Cas_retry} (retries that update shared state or chase freshly
+      read links) or {!Stuck_spin} (waits that only another thread's
+      write can end). A module's static verdict is {!Blocking} iff a
+      stuck wait is reachable from one of its top-level functions
+      through the resolved call graph (so [fc_stack.ml] is blocking
+      {e via} [fc.ml]'s combiner wait); a [[@@@progress]] declaration
+      disagreeing with the verdict is diagnosed at the declaration.
+    - rule 13, [protocol] — a [[@@@protocol "name: s1 -kind:field-> s2;
+      ..."]] floating attribute declares a state machine over the
+      file's atomic fields (kind is [read]/[write]/[rmw]; field is the
+      last path component of the accessed cell; the first-listed source
+      state is the start state). Every top-level function is checked
+      from the start state: an access to a declared [(kind, field)]
+      event with no enabled transition from any current state is a
+      violation at that access. Calls resolving to same-file functions
+      are stepped through by running the callee's CFG from the caller's
+      state set (memoised; recursion falls back to identity).
+
+    Like summary facts, the facts exported here only ever discharge
+    rule 1-9 obligations; rules 11-13 are this module's own additive
+    checks. *)
+
+module L = Sec_lint_rules.Lint_rules
+module Summary = Sec_summary.Summary
+
+type t
+
+type loop_class = Bounded | Cas_retry | Stuck_spin
+type verdict = Blocking | Lock_free
+
+val loop_class_to_string : loop_class -> string
+val verdict_to_string : verdict -> string
+
+(** Analyse source files from disk. Only files whose (effective) scope
+    has [check_discipline] set are analysed — the rest contribute no
+    CFGs, no diagnostics and no facts. [summary] must have been built
+    over the same corpus (it supplies call resolution and callee
+    effects). [scope] overrides {!L.scope_of_path} for every file
+    (fixtures / selftest). Files that fail to parse contribute nothing
+    (the lint reports the parse error). *)
+val analyze : summary:Summary.env -> ?scope:L.scope -> string list -> t
+
+(** Analyse in-memory sources [(filename, contents)] — unit tests.
+    [summary] should come from {!Summary.analyze_sources} over the same
+    pairs. *)
+val analyze_sources :
+  summary:Summary.env -> ?scope:L.scope -> (string * string) list -> t
+
+(** All rule 11-13 diagnostics, sorted by (file, line, col, rule). *)
+val diagnostics : t -> L.diagnostic list
+
+(** Extend a facts bundle with this analysis' definitely-guarded
+    positions (guard depth >= 1 on every path): composes with
+    {!Summary.facts_for} by disjunction on [guarded_at]. *)
+val facts_with : t -> file:string -> L.facts -> L.facts
+
+(** The static progress verdict for [file]; [None] when the file has no
+    analysed functions. *)
+val verdict_of : t -> file:string -> verdict option
+
+(** The file's [[@@@progress]] payload, if declared. *)
+val declared_progress : t -> file:string -> string option
+
+(** Every classified loop in [file]:
+    [(enclosing unit, name, line, class, reason)]. Spin-wait call sites
+    appear as ["spin@<line>"] entries. *)
+val loops :
+  t -> file:string -> (string * string * int * loop_class * string) list
+
+(** Names of the protocol automata declared in [file]. *)
+val automata_of : t -> file:string -> string list
+
+(** Rule-12 staleness probe for one [[@await_ok]] occurrence (position
+    of the attribute name): [Some true] if deleting it would change the
+    rule-12 diagnostic set (the annotation is what keeps a wait out of
+    the stuck class of a declared-lock_free module), [Some false] if
+    deleting it changes nothing for rule 12, [None] if the analysis
+    never saw that occurrence. Merged by [sec_lint --audit] with the
+    syntactic probe by disjunction. *)
+val audit_await : t -> file:string -> line:int -> col:int -> bool option
+
+(** [(units, cfg nodes, loop heads)] for [file] — introspection. *)
+val cfg_stats : t -> file:string -> int * int * int
+
+(** Positions (line, col) proved guarded on every path — introspection. *)
+val guarded_positions : t -> file:string -> (int * int) list

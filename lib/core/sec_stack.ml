@@ -34,6 +34,19 @@
 [@@@progress "blocking"]
 [@@@spec "stack"]
 
+(* Batch lifecycle (checked statically by sec_lint rule 13): announcing
+   (counter FAAs, elimination-slot deposits) and the freezer race on
+   [freezer_decided] happen only while the batch is open; the freeze
+   snapshot writes [pop_at_freeze] strictly before [push_at_freeze]
+   (push's elimination test reads pops-at-freeze through the push
+   counter, so the reverse order would under-eliminate); and only a
+   fully snapped batch may be retired by installing its successor. *)
+[@@@protocol
+  "batch: open -rmw:push_count-> open; open -rmw:pop_count-> open; open \
+   -write:elimination-> open; open -rmw:freezer_decided-> open; open \
+   -write:pop_at_freeze-> snapped; snapped -write:push_at_freeze-> frozen; \
+   frozen -write:batch-> open"]
+
 module Make (P : Sec_prim.Prim_intf.S) = struct
   module A = P.Atomic
   module Backoff = Sec_prim.Backoff.Make (P)

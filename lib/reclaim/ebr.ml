@@ -21,6 +21,20 @@
    so use-after-retire and double-retire become observable. With no
    checker installed each hook is a single ref read. *)
 
+(* Epoch advance (checked statically by sec_lint rule 13): an
+   announcement write is only legal against an epoch observed on the
+   same path (enter re-reads and re-announces; exit writes the
+   quiescent marker, which needs no observation and resets to idle);
+   and the advance CAS is only legal after the epoch was read AND every
+   slot's announcement scanned under it — advancing on a stale or
+   unscanned epoch would free objects a reader still holds. *)
+[@@@protocol
+  "epoch: idle -read:global_epoch-> seen; seen -read:global_epoch-> seen; \
+   scanned -read:global_epoch-> scanned; idle -write:announce-> idle; seen \
+   -write:announce-> idle; scanned -write:announce-> idle; seen \
+   -read:announce-> scanned; scanned -read:announce-> scanned; scanned \
+   -rmw:global_epoch-> idle"]
+
 module Make (P : Sec_prim.Prim_intf.S) = struct
   module A = P.Atomic
   module Chk = Sec_analysis.Reclaim_checker

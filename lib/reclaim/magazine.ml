@@ -28,6 +28,14 @@
 
 [@@@progress "lock_free"]
 
+(* Depot exchange (checked statically by sec_lint rule 13): every CAS on
+   the depot head must be preceded by a fresh read of it on the same
+   path — publishing or adopting a chain against a stale head would
+   silently drop someone else's chain. *)
+[@@@protocol
+  "depot: idle -read:depot-> loaded; loaded -read:depot-> loaded; loaded \
+   -rmw:depot-> idle"]
+
 (* Process-wide tallies across every magazine instance (defined first so
    the functor can feed them).
 

@@ -1,0 +1,36 @@
+(* protocol / loop-progress / unknown-annotation: a module declaring a
+   read-before-CAS protocol on [head] and then violating it twice (a CAS
+   with no fresh read on the path, and a second CAS after the first
+   already consumed the read); a [@@@progress "lock_free"] declaration
+   contradicted by a read-only spin the classifier proves stuck; and a
+   misspelled suppression annotation that suppresses nothing. *)
+[@@@progress "lock_free"] (* EXPECT loop-progress *)
+[@@@spec "stack"]
+
+[@@@protocol
+  "hand: idle -read:head-> seen; seen -read:head-> seen; seen -rmw:head-> \
+   idle"]
+
+module A = Atomic
+
+type 'a t = { head : 'a list A.t; size : int A.t }
+
+(* CAS against a guessed value: the protocol requires a fresh read of
+   [head] on the same path before the RMW. *)
+let push t v =
+  let cur = [] in
+  if A.compare_and_set t.head cur (v :: cur) (* EXPECT protocol *)
+  then ()
+
+(* The first CAS consumes the read; the retry reuses the stale
+   snapshot instead of re-reading. *)
+let pop t =
+  let cur = A.get t.head in
+  if A.compare_and_set t.head cur [] then
+    ignore (A.compare_and_set t.head cur cur) (* EXPECT protocol *)
+
+let wait t =
+  (while A.get t.size = 0 do (* EXPECT retry-discipline *)
+     ()
+   done)
+  [@awiat_ok "misspelled: suppresses nothing"] (* EXPECT unknown-annotation *)

@@ -1,0 +1,63 @@
+(* Clean typestate input: a hand-rolled enter/exit pair balanced on the
+   value, empty and exception paths (so the [n.value] read is proved
+   guarded and rule 4 stays quiet without any [@unguarded_ok]); CAS
+   loops that follow the declared read-before-CAS protocol and classify
+   as cas-retry; and a [@@@progress "lock_free"] declaration the static
+   verdict agrees with. The lint must report nothing here. *)
+[@@@progress "lock_free"]
+[@@@spec "stack"]
+
+[@@@protocol
+  "head: idle -read:head-> seen; seen -read:head-> seen; seen -rmw:head-> \
+   idle"]
+
+module A = Atomic
+module E = Ebr.Make (Prim)
+
+type 'a node = { value : 'a; next : 'a node option }
+type 'a t = { head : 'a node option A.t; ebr : E.t }
+
+(* Exception-safe without the [E.guard] wrapper: every path through the
+   match — including the scrutinee raising — runs the exit. *)
+let peek t ~tid =
+  E.enter t.ebr ~tid;
+  match A.get t.head with
+  | Some n ->
+      let v = n.value in
+      E.exit t.ebr ~tid;
+      Some v
+  | None ->
+      E.exit t.ebr ~tid;
+      None
+  | exception exn ->
+      E.exit t.ebr ~tid;
+      raise exn
+
+let push t ~tid v =
+  E.guard t.ebr ~tid (fun () ->
+      let backoff = Backoff.create () in
+      let rec attempt () =
+        let cur = A.get t.head in
+        if A.compare_and_set t.head cur (Some { value = v; next = cur })
+        then ()
+        else begin
+          Backoff.once backoff;
+          attempt ()
+        end
+      in
+      attempt ())
+
+let pop t ~tid =
+  E.guard t.ebr ~tid (fun () ->
+      let backoff = Backoff.create () in
+      let rec attempt () =
+        match A.get t.head with
+        | None -> None
+        | Some n ->
+            if A.compare_and_set t.head (Some n) n.next then Some n.value
+            else begin
+              Backoff.once backoff;
+              attempt ()
+            end
+      in
+      attempt ())
