@@ -257,7 +257,15 @@ let bench_cmd =
     in
     Arg.(value & opt float 0.10 & info [ "events-threshold" ] ~docv:"F" ~doc)
   in
-  let run seed backend emit against threshold events_threshold =
+  let allocs_threshold_arg =
+    let doc =
+      "Allowed fractional allocations-per-op regression (default 0.10; \
+       guards the zero-allocation hot-path claim)."
+    in
+    Arg.(value & opt float 0.10 & info [ "allocs-threshold" ] ~docv:"F" ~doc)
+  in
+  let run seed backend emit against threshold events_threshold
+      allocs_threshold =
     let doc =
       match backend with
       | `Sim -> J.collect_sim ~seed ()
@@ -271,9 +279,10 @@ let bench_cmd =
     List.iter
       (fun (r : J.row) ->
         Printf.printf
-          "  %-10s t=%d  ops=%-7d allocs=%-8d throughput=%.6f hit_rate=%.2f\n"
+          "  %-10s t=%d  ops=%-7d allocs=%-8d throughput=%.6f hit_rate=%.2f \
+           depot_cas=%-6d slab_cas=%-6d\n"
           r.J.algorithm r.J.threads r.J.ops r.J.allocs r.J.throughput
-          r.J.mag_hit_rate)
+          r.J.mag_hit_rate r.J.depot_cas r.J.slab_cas)
       doc.J.rows;
     Option.iter
       (fun path ->
@@ -288,20 +297,29 @@ let bench_cmd =
     | None -> ()
     | Some path -> (
         let baseline = J.read ~path in
-        match J.check ~threshold ~events_threshold ~baseline ~current:doc () with
+        match
+          J.check ~threshold ~events_threshold ~allocs_threshold ~baseline
+            ~current:doc ()
+        with
         | [] ->
             Printf.printf
               "baseline %s: no paper-set regression beyond %.0f%% (events/sec \
-               beyond %.0f%%)\n"
+               beyond %.0f%%, allocs/op beyond %.0f%%)\n"
               path (100. *. threshold)
               (100. *. events_threshold)
+              (100. *. allocs_threshold)
         | regs ->
             List.iter
               (fun (r : J.regression) ->
+                let pct =
+                  if r.J.baseline > 0. then
+                    100. *. (r.J.current -. r.J.baseline) /. r.J.baseline
+                  else 0.
+                in
                 Printf.eprintf
-                  "REGRESSION %s t=%d: %.6f -> %.6f (%.1f%% below baseline)\n"
-                  r.J.r_algorithm r.J.r_threads r.J.baseline r.J.current
-                  (100. *. (1. -. (r.J.current /. r.J.baseline))))
+                  "REGRESSION [%s] %s t=%d: %.6f -> %.6f (%+.1f%% vs baseline)\n"
+                  r.J.r_metric r.J.r_algorithm r.J.r_threads r.J.baseline
+                  r.J.current pct)
               regs;
             exit 1)
   in
@@ -313,7 +331,7 @@ let bench_cmd =
           BENCH_<backend>.json")
     Term.(
       const run $ seed_arg $ backend_arg $ emit_arg $ against_arg
-      $ threshold_arg $ events_threshold_arg)
+      $ threshold_arg $ events_threshold_arg $ allocs_threshold_arg)
 
 (* Refinement sweep: every registry entry (plus the pool relaxation, plus
    — under --mutants — the seeded fault-injection builds) is run through
@@ -506,12 +524,103 @@ let check_cmd =
       const run $ seeds_arg $ budget_arg $ mutants_arg $ entries_arg
       $ witness_dir_arg $ schedules_arg $ runs_arg)
 
+(* Allocator microbenchmark: the node hot path in isolation — depot vs
+   slab vs off-heap arena, local round-trips and cross-domain
+   (producer/consumer) frees, on either substrate. The table this
+   prints is the evidence for the ISSUE's acceptance bar: the slab
+   modes must issue strictly fewer cross-domain CASes than the depot
+   (docs/PERF.md, "Allocator"). *)
+let alloc_cmd =
+  let module AB = Sec_harness.Alloc_bench in
+  let backend_arg =
+    let doc = "Substrate: $(b,sim) (deterministic) or $(b,native)." in
+    Arg.(
+      value
+      & opt (Arg.enum [ ("sim", `Sim); ("native", `Native) ]) `Sim
+      & info [ "backend" ] ~docv:"BACKEND" ~doc)
+  in
+  let threads_arg =
+    let doc = "Worker count (the remote phase pairs them up; keep even)." in
+    Arg.(value & opt int 4 & info [ "threads" ] ~docv:"N" ~doc)
+  in
+  let iters_arg =
+    let doc = "Bursts per thread (fixed work, not timed)." in
+    Arg.(value & opt int AB.default_iters & info [ "iters" ] ~docv:"N" ~doc)
+  in
+  let burst_arg =
+    let doc =
+      "Nodes per burst (keep above the magazine capacity of 64 so every \
+       burst exercises the slow path)."
+    in
+    Arg.(value & opt int AB.default_burst & info [ "burst" ] ~docv:"N" ~doc)
+  in
+  let run seed backend threads iters burst =
+    let measure ~mode ~phase =
+      match backend with
+      | `Sim -> AB.run_sim ~threads ~iters ~burst ~seed ~mode ~phase ()
+      | `Native -> AB.run_native ~threads ~iters ~burst ~seed ~mode ~phase ()
+    in
+    let results =
+      List.concat_map
+        (fun phase ->
+          List.map
+            (fun mode -> measure ~mode ~phase)
+            [ AB.Depot; AB.Slab; AB.Arena ])
+        [ AB.Local; AB.Remote ]
+    in
+    let backend_label =
+      match backend with `Sim -> "sim" | `Native -> "native"
+    in
+    Printf.printf
+      "alloc bench [%s, %d threads, %d iters x %d burst, seed %d]\n"
+      backend_label threads iters burst seed;
+    Printf.printf "  %-7s %-7s %9s %14s %10s %8s %7s %8s %5s\n" "phase"
+      "mode" "ops" "per-op" "cross-CAS" "retries" "fresh" "batches" "occ";
+    List.iter
+      (fun (r : AB.result) ->
+        Printf.printf "  %-7s %-7s %9d %14s %10d %8d %7d %8d %5.2f\n"
+          (AB.phase_to_string r.AB.r_phase)
+          (AB.mode_to_string r.AB.r_mode)
+          r.AB.ops
+          (Printf.sprintf "%.1f %s" r.AB.per_op r.AB.unit_label)
+          r.AB.cross_cas r.AB.cross_cas_retries r.AB.fresh r.AB.remote_batches
+          r.AB.occupancy)
+      results;
+    (* The acceptance comparison, stated explicitly per phase. *)
+    List.iter
+      (fun phase ->
+        let cas mode =
+          let r =
+            List.find
+              (fun (r : AB.result) -> r.AB.r_mode = mode && r.AB.r_phase = phase)
+              results
+          in
+          r.AB.cross_cas
+        in
+        let d = cas AB.Depot and s = cas AB.Slab in
+        Printf.printf "  %s: slab %d vs depot %d cross-domain CASes -> %s\n"
+          (AB.phase_to_string phase)
+          s d
+          (if s < d then "slab strictly fewer (ok)"
+           else "slab NOT fewer (investigate)"))
+      [ AB.Local; AB.Remote ]
+  in
+  Cmd.v
+    (Cmd.info "alloc"
+       ~doc:
+         "Microbenchmark the node allocators (depot vs slab vs off-heap \
+          arena): alloc/free round-trip cost, remote-free throughput and \
+          cross-domain CAS counts")
+    Term.(
+      const run $ seed_arg $ backend_arg $ threads_arg $ iters_arg $ burst_arg)
+
 let algos_cmd =
   let run () =
     List.iter
       (fun (e : Sec_harness.Registry.entry) ->
         Printf.printf "%s\n" e.Sec_harness.Registry.name)
-      (Sec_harness.Registry.all @ Sec_harness.Registry.sec_aggregator_sweep)
+      (Sec_harness.Registry.all @ Sec_harness.Registry.slab_set
+     @ Sec_harness.Registry.sec_aggregator_sweep)
   in
   Cmd.v
     (Cmd.info "algos" ~doc:"List available algorithm names")
@@ -528,4 +637,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ list_cmd; run_cmd; all_cmd; figures_cmd; sweep_cmd; bench_cmd;
-            check_cmd; algos_cmd ]))
+            alloc_cmd; check_cmd; algos_cmd ]))

@@ -51,10 +51,11 @@
       the blocking declaration.
 
    8. [fresh-node] — in discipline modules that recycle nodes through
-      {!Sec_reclaim.Magazine}, a node record literal (a record whose
-      labels are all fields of a node type) is a hot-path allocation the
-      magazine was built to avoid. Allocation must go through
-      [Mag.alloc], with the literal only as the miss fallback, annotated
+      {!Sec_reclaim.Magazine} or the {!Sec_reclaim.Slab} store, a node
+      record literal (a record whose labels are all fields of a node
+      type) is a hot-path allocation the recycler was built to avoid.
+      Allocation must go through the recycler's alloc, with the literal
+      only as the miss fallback, annotated
       [@fresh_ok "why a fresh node is acceptable here"]. Like the other
       intent annotations, [@fresh_ok] covers its whole subtree.
 
@@ -321,7 +322,8 @@ let structure_references pred structure =
   !found
 
 let structure_uses_ebr = structure_references (fun c -> c = "Ebr")
-let structure_uses_magazine = structure_references (fun c -> c = "Magazine")
+let structure_uses_magazine =
+  structure_references (fun c -> c = "Magazine" || c = "Slab")
 
 (* Field names of reclaimable-node records: every record type whose name
    contains "node". Dereferencing these is what the guard protects (rule
@@ -695,9 +697,9 @@ let check_structure ?(facts = no_facts) ?disabled ~file ~scope structure =
   let check_fresh_node loc =
     add loc "fresh-node"
       "node record constructed directly in a module that recycles nodes \
-       through Magazine: the hot path must try Mag.alloc first and only \
-       fall back to a literal on a miss; annotate that fallback \
-       [@fresh_ok \"why a fresh node is acceptable here\"]"
+       through Magazine or Slab: the hot path must try the recycler's \
+       alloc first and only fall back to a literal on a miss; annotate \
+       that fallback [@fresh_ok \"why a fresh node is acceptable here\"]"
   in
 
   let check_lock_free_spin loc =

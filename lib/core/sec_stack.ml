@@ -158,7 +158,15 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
              }
          else None);
       recycle = config.Config.recycle_nodes;
-      mag = Mag.create ~max_threads ();
+      (* [slab_nodes]/[offheap] route the magazines' slow path through
+         the wait-free slab store; SEC's polymorphic nodes themselves
+         stay on the OCaml heap (see Config.offheap). *)
+      mag =
+        Mag.create ~max_threads
+          ~backing:
+            (if config.Config.slab_nodes || config.Config.offheap then `Slab
+             else `Depot)
+          ();
       (* Adaptive runs start consolidated (K = 1, the best single-thread
          setting) and grow under pressure; the field is untouched — and
          never read — without [Config.adaptive]. *)
@@ -527,6 +535,7 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
   let config t = t.config
   let magazine_stats t = Mag.stats t.mag
   let magazine_hit_rate t = Mag.hit_rate t.mag
+  let slab_stats t = Mag.slab_stats t.mag
 
   (* Current depth of the shared stack; O(n), single snapshot of [top],
      for tests and examples only. *)

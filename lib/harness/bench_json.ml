@@ -27,6 +27,17 @@ type row = {
   mag_misses : int;
   mag_recycled : int;
   mag_hit_rate : float;
+  (* PR 10, the allocator dimension: depot CAS traffic (with contended
+     retries), slab-layer CAS traffic and occupancy, arena remote-free
+     batches, and — native rows only, zero in sim — GC counters for the
+     off-heap claim. *)
+  depot_cas : int;
+  depot_cas_retries : int;
+  slab_cas : int;
+  slab_occupancy : float;
+  remote_batches : int;
+  gc_minor_words : float;  (** native: minor words allocated; sim: 0 *)
+  gc_major_colls : int;  (** native: major collections; sim: 0 *)
 }
 
 type doc = {
@@ -48,11 +59,13 @@ type doc = {
 (* ------------------------------------------------------------------ *)
 (* Collection                                                          *)
 
-(* The recycling and adaptive SEC variants ride along in the baseline so
-   the zero-allocation claim is itself regression-checked. *)
+(* The recycling, adaptive and slab-backed SEC/EBR variants ride along
+   in the baseline so the zero-allocation and depot-removal claims are
+   themselves regression-checked. *)
 let bench_entries =
   Registry.paper_set @ Registry.reclaimed_set
   @ [ Registry.sec_recycling; Registry.sec_adaptive ]
+  @ Registry.slab_set
 
 let bench_threads = [ 1; 2; 4 ]
 
@@ -65,13 +78,13 @@ let bench_prefill = 64
 
 let sim_row entry ~topology ~threads ~duration_cycles ~mix ~seed =
   let module R = Runner.Make (Sec_sim.Sim.Prim) in
-  Sec_reclaim.Magazine.Global.reset ();
+  Sec_core.Sec_stats.alloc_reset ();
   let (name, outcome), stats =
     Sec_sim.Sim.run ~seed ~jitter:2 ~topology (fun () ->
         R.run_maker entry.Registry.maker ~op_overhead:10 ~threads
           ~stop:(R.Timed duration_cycles) ~mix ~prefill:bench_prefill ())
   in
-  let mag = Sec_reclaim.Magazine.Global.snapshot () in
+  let a = Sec_core.Sec_stats.alloc_snapshot () in
   let ops = R.total outcome in
   {
     algorithm = name;
@@ -79,31 +92,47 @@ let sim_row entry ~topology ~threads ~duration_cycles ~mix ~seed =
     ops;
     allocs = stats.Sec_sim.Sim.allocs;
     throughput = float_of_int ops /. float_of_int duration_cycles;
-    mag_hits = mag.Sec_reclaim.Magazine.Global.hits;
-    mag_misses = mag.Sec_reclaim.Magazine.Global.misses;
-    mag_recycled = mag.Sec_reclaim.Magazine.Global.recycled;
-    mag_hit_rate = Sec_reclaim.Magazine.Global.hit_rate mag;
+    mag_hits = a.Sec_core.Sec_stats.mag_hits;
+    mag_misses = a.Sec_core.Sec_stats.mag_misses;
+    mag_recycled = a.Sec_core.Sec_stats.mag_recycled;
+    mag_hit_rate = a.Sec_core.Sec_stats.mag_hit_rate;
+    depot_cas = a.Sec_core.Sec_stats.depot_cas;
+    depot_cas_retries = a.Sec_core.Sec_stats.depot_cas_retries;
+    slab_cas = a.Sec_core.Sec_stats.slab_cas;
+    slab_occupancy = a.Sec_core.Sec_stats.slab_occupancy;
+    remote_batches = a.Sec_core.Sec_stats.remote_batches;
+    gc_minor_words = 0.;
+    gc_major_colls = 0;
   }
 
 let native_row entry ~threads ~duration ~mix ~seed =
-  Sec_reclaim.Magazine.Global.reset ();
+  Sec_core.Sec_stats.alloc_reset ();
   let before = Gc.allocated_bytes () in
+  let gc0 = Gc.quick_stat () in
   let m =
     Native_runner.run entry.Registry.maker ~threads ~duration ~mix
       ~prefill:bench_prefill ~seed ()
   in
   let allocated = Gc.allocated_bytes () -. before in
-  let mag = Sec_reclaim.Magazine.Global.snapshot () in
+  let gc1 = Gc.quick_stat () in
+  let a = Sec_core.Sec_stats.alloc_snapshot () in
   {
     algorithm = m.Measurement.algorithm;
     threads;
     ops = m.Measurement.ops;
     allocs = int_of_float allocated;
     throughput = float_of_int m.Measurement.ops /. m.Measurement.elapsed;
-    mag_hits = mag.Sec_reclaim.Magazine.Global.hits;
-    mag_misses = mag.Sec_reclaim.Magazine.Global.misses;
-    mag_recycled = mag.Sec_reclaim.Magazine.Global.recycled;
-    mag_hit_rate = Sec_reclaim.Magazine.Global.hit_rate mag;
+    mag_hits = a.Sec_core.Sec_stats.mag_hits;
+    mag_misses = a.Sec_core.Sec_stats.mag_misses;
+    mag_recycled = a.Sec_core.Sec_stats.mag_recycled;
+    mag_hit_rate = a.Sec_core.Sec_stats.mag_hit_rate;
+    depot_cas = a.Sec_core.Sec_stats.depot_cas;
+    depot_cas_retries = a.Sec_core.Sec_stats.depot_cas_retries;
+    slab_cas = a.Sec_core.Sec_stats.slab_cas;
+    slab_occupancy = a.Sec_core.Sec_stats.slab_occupancy;
+    remote_batches = a.Sec_core.Sec_stats.remote_batches;
+    gc_minor_words = gc1.Gc.minor_words -. gc0.Gc.minor_words;
+    gc_major_colls = gc1.Gc.major_collections - gc0.Gc.major_collections;
   }
 
 (* Event-loop throughput: wall-clock scheduling events per second over a
@@ -235,9 +264,14 @@ let to_string doc =
         (Printf.sprintf
            "\n    {\"algorithm\": \"%s\", \"threads\": %d, \"ops\": %d, \
             \"allocs\": %d, \"throughput\": %s, \"mag_hits\": %d, \
-            \"mag_misses\": %d, \"mag_recycled\": %d, \"mag_hit_rate\": %s}"
+            \"mag_misses\": %d, \"mag_recycled\": %d, \"mag_hit_rate\": %s, \
+            \"depot_cas\": %d, \"depot_cas_retries\": %d, \"slab_cas\": %d, \
+            \"slab_occupancy\": %s, \"remote_batches\": %d, \
+            \"gc_minor_words\": %s, \"gc_major_colls\": %d}"
            (escape r.algorithm) r.threads r.ops r.allocs (fl r.throughput)
-           r.mag_hits r.mag_misses r.mag_recycled (fl r.mag_hit_rate)))
+           r.mag_hits r.mag_misses r.mag_recycled (fl r.mag_hit_rate)
+           r.depot_cas r.depot_cas_retries r.slab_cas (fl r.slab_occupancy)
+           r.remote_batches (fl r.gc_minor_words) r.gc_major_colls))
     doc.rows;
   Buffer.add_string buf "\n  ]\n}\n";
   Buffer.contents buf
@@ -427,6 +461,19 @@ let to_str = function
   | Str s -> s
   | _ -> raise (Parse_error "expected string")
 
+(* The PR 10 columns default to zero when absent, so baselines written
+   by the previous schema still parse (their gates simply do not
+   apply). *)
+let opt_float key j ~default =
+  match j with
+  | Obj fields -> (
+      match List.assoc_opt key fields with
+      | Some v -> to_float v
+      | None -> default)
+  | _ -> default
+
+let opt_int key j ~default = int_of_float (opt_float key j ~default:(float_of_int default))
+
 let row_of_json j =
   {
     algorithm = to_str (member "algorithm" j);
@@ -438,6 +485,13 @@ let row_of_json j =
     mag_misses = to_int (member "mag_misses" j);
     mag_recycled = to_int (member "mag_recycled" j);
     mag_hit_rate = to_float (member "mag_hit_rate" j);
+    depot_cas = opt_int "depot_cas" j ~default:0;
+    depot_cas_retries = opt_int "depot_cas_retries" j ~default:0;
+    slab_cas = opt_int "slab_cas" j ~default:0;
+    slab_occupancy = opt_float "slab_occupancy" j ~default:0.;
+    remote_batches = opt_int "remote_batches" j ~default:0;
+    gc_minor_words = opt_float "gc_minor_words" j ~default:0.;
+    gc_major_colls = opt_int "gc_major_colls" j ~default:0;
   }
 
 let of_string src =
@@ -475,6 +529,7 @@ let read ~path =
 type regression = {
   r_algorithm : string;
   r_threads : int;
+  r_metric : string;  (** "throughput" | "events/sec" | "allocs/op" *)
   baseline : float;
   current : float;
 }
@@ -492,8 +547,12 @@ let gating_algorithms =
    It only applies when the baseline has the field (> 0), so baselines
    predating the event-loop refactor still gate throughput alone. The
    pseudo-row is reported as algorithm "events/sec" at 0 threads. *)
-let check ?(threshold = 0.10) ?(events_threshold = 0.10) ~baseline ~current ()
-    =
+(* [allocs_threshold] gates allocations per operation (sim rows are
+   deterministic, so any growth is a real hot-path change): a current
+   allocs/op more than the fraction above the baseline's fails. A zero
+   baseline (fully recycled hot path) must stay zero. *)
+let check ?(threshold = 0.10) ?(events_threshold = 0.10)
+    ?(allocs_threshold = 0.10) ~baseline ~current () =
   let events =
     if
       baseline.events_per_sec > 0.
@@ -505,15 +564,19 @@ let check ?(threshold = 0.10) ?(events_threshold = 0.10) ~baseline ~current ()
         {
           r_algorithm = "events/sec";
           r_threads = 0;
+          r_metric = "events/sec";
           baseline = baseline.events_per_sec;
           current = current.events_per_sec;
         };
       ]
     else []
   in
-  List.filter_map
+  let apo (r : row) =
+    if r.ops = 0 then 0. else float_of_int r.allocs /. float_of_int r.ops
+  in
+  List.concat_map
     (fun (b : row) ->
-      if not (List.mem b.algorithm gating_algorithms) then None
+      if not (List.mem b.algorithm gating_algorithms) then []
       else
         match
           List.find_opt
@@ -521,16 +584,37 @@ let check ?(threshold = 0.10) ?(events_threshold = 0.10) ~baseline ~current ()
               c.algorithm = b.algorithm && c.threads = b.threads)
             current.rows
         with
-        | None -> None (* structure dropped: the build breaks elsewhere *)
+        | None -> [] (* structure dropped: the build breaks elsewhere *)
         | Some c ->
-            if c.throughput < (1.0 -. threshold) *. b.throughput then
-              Some
-                {
-                  r_algorithm = b.algorithm;
-                  r_threads = b.threads;
-                  baseline = b.throughput;
-                  current = c.throughput;
-                }
-            else None)
+            let throughput_reg =
+              if c.throughput < (1.0 -. threshold) *. b.throughput then
+                [
+                  {
+                    r_algorithm = b.algorithm;
+                    r_threads = b.threads;
+                    r_metric = "throughput";
+                    baseline = b.throughput;
+                    current = c.throughput;
+                  };
+                ]
+              else []
+            in
+            let allocs_reg =
+              (* epsilon absorbs one cold-start node against a zero
+                 baseline without letting a real per-op regression by *)
+              let eps = 1e-3 in
+              if apo c > ((1.0 +. allocs_threshold) *. apo b) +. eps then
+                [
+                  {
+                    r_algorithm = b.algorithm;
+                    r_threads = b.threads;
+                    r_metric = "allocs/op";
+                    baseline = apo b;
+                    current = apo c;
+                  };
+                ]
+              else []
+            in
+            throughput_reg @ allocs_reg)
     baseline.rows
   @ events

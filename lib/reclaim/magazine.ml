@@ -9,6 +9,12 @@
    depot in O(1), so even the refill/overflow slow path is a
    single CAS regardless of chain length.
 
+   Since PR 10 the depot is the *default* backing, not the only one:
+   [create ~backing:`Slab] routes the slow path through the wait-free
+   slab store of {!Slab} instead — same chain currency, but one CAS
+   attempt per slab of chains rather than one retried CAS per chain
+   (docs/PERF.md, "Allocator").
+
    Layering over EBR: the structure's pop retires the node as before;
    when the grace period expires, the EBR destructor hands the node to
    [recycle] under the retiring thread's id instead of dropping it to
@@ -52,11 +58,17 @@ module Global = struct
         [@plain_ok "one cell per thread id; read only after worker join"]
     mutable misses : int; [@plain_ok "see [hits]"]
     mutable recycled : int; [@plain_ok "see [hits]"]
+    mutable depot_cas : int; [@plain_ok "see [hits]"]
+    mutable depot_cas_retries : int; [@plain_ok "see [hits]"]
   }
 
   (* Sized past any topology in lib/sim/topology.ml; ids are masked so a
      stray tid can never escape the array. *)
-  let cells = Array.init 256 (fun _ -> { hits = 0; misses = 0; recycled = 0 })
+  let cells =
+    Array.init 256 (fun _ ->
+        { hits = 0; misses = 0; recycled = 0; depot_cas = 0;
+          depot_cas_retries = 0 })
+
   let cell tid = cells.(tid land 255)
 
   let note_hit tid =
@@ -71,14 +83,30 @@ module Global = struct
     let c = cell tid in
     c.recycled <- c.recycled + 1
 
-  type snapshot = { hits : int; misses : int; recycled : int }
+  let note_depot_cas tid =
+    let c = cell tid in
+    c.depot_cas <- c.depot_cas + 1
+
+  let note_depot_cas_retry tid =
+    let c = cell tid in
+    c.depot_cas_retries <- c.depot_cas_retries + 1
+
+  type snapshot = {
+    hits : int;
+    misses : int;
+    recycled : int;
+    depot_cas : int;  (** depot CAS attempts (cross-domain, contended) *)
+    depot_cas_retries : int;  (** attempts that lost and had to loop *)
+  }
 
   let reset () =
     Array.iter
       (fun (c : cell) ->
         c.hits <- 0;
         c.misses <- 0;
-        c.recycled <- 0)
+        c.recycled <- 0;
+        c.depot_cas <- 0;
+        c.depot_cas_retries <- 0)
       cells
 
   let snapshot () =
@@ -88,8 +116,11 @@ module Global = struct
           hits = acc.hits + c.hits;
           misses = acc.misses + c.misses;
           recycled = acc.recycled + c.recycled;
+          depot_cas = acc.depot_cas + c.depot_cas;
+          depot_cas_retries = acc.depot_cas_retries + c.depot_cas_retries;
         })
-      { hits = 0; misses = 0; recycled = 0 }
+      { hits = 0; misses = 0; recycled = 0; depot_cas = 0;
+        depot_cas_retries = 0 }
       cells
 
   let hit_rate (s : snapshot) =
@@ -100,16 +131,18 @@ end
 (* Outside {!Make} so every instantiation shares one nominal type (and
    interfaces can name it without fixing the substrate). *)
 type stats = {
-  hits : int;  (** allocations served from a magazine or the depot *)
+  hits : int;  (** allocations served from a magazine or the refill store *)
   misses : int;  (** allocations that fell through to fresh nodes *)
   recycled : int;  (** nodes returned by EBR destructors *)
-  depot_puts : int;  (** full chains pushed to the depot *)
-  depot_gets : int;  (** chains adopted from the depot *)
+  depot_puts : int;  (** full chains emigrated (to depot or slab store) *)
+  depot_gets : int;  (** chains adopted (from depot or slab store) *)
+  depot_cas_retries : int;  (** depot CAS attempts that lost and looped *)
 }
 
 module Make (P : Sec_prim.Prim_intf.S) = struct
   module A = P.Atomic
   module Backoff = Sec_prim.Backoff.Make (P)
+  module Sl = Slab.Make (P)
 
   type 'a slot = {
     mutable free : 'a list;
@@ -123,13 +156,21 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     mutable recycled : int; [@plain_ok "thread-private, see [free]"]
     mutable depot_puts : int; [@plain_ok "thread-private, see [free]"]
     mutable depot_gets : int; [@plain_ok "thread-private, see [free]"]
+    mutable cas_retries : int; [@plain_ok "thread-private, see [free]"]
   }
+
+  (* Where the slow path trades chains: the PR 5 global depot (one
+     atomic, CAS retry loops under contention) or the wait-free slab
+     store of {!Slab} (PR 10). Selected once at [create]; the default
+     stays [Depot] so existing pinned schedules are untouched. *)
+  type 'a backing = Depot | Slabs of 'a Sl.t
 
   type 'a t = {
     slots : 'a slot array;
     capacity : int; (* nodes per magazine; depot chains have this length *)
     depot : (int * 'a list) list A.t;
         (* stack of (length, chain): chains move whole, in one CAS *)
+    backing : 'a backing;
   }
 
   let fresh_slot () =
@@ -141,29 +182,43 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
       recycled = 0;
       depot_puts = 0;
       depot_gets = 0;
+      cas_retries = 0;
     }
 
   let default_capacity = 64
 
-  let create ?(capacity = default_capacity) ?(max_threads = 64) () =
+  let create ?(capacity = default_capacity) ?(max_threads = 64)
+      ?(backing = `Depot) () =
     if capacity < 1 then
       invalid_arg "Magazine.create: capacity must be at least 1";
     {
       slots = Array.init max_threads (fun _ -> fresh_slot ());
       capacity;
       depot = A.make_padded [];
+      backing =
+        (match backing with
+        | `Depot -> Depot
+        | `Slab -> Slabs (Sl.create ~chain_len:capacity ~max_threads ()));
     }
 
   let capacity t = t.capacity
+  let slab_backed t = match t.backing with Depot -> false | Slabs _ -> true
 
   (* Move one whole chain depot-ward. O(1): the chain is consed as a
-     unit, never walked. *)
-  let depot_put t chain =
+     unit, never walked. Every CAS attempt (and every lost one) is
+     tallied — the before/after evidence for taking the depot off the
+     hot path; the tally writes are plain and emit no events, so
+     counting is schedule-neutral. *)
+  let depot_put t ~tid chain =
+    let s = t.slots.(tid) in
     let backoff = Backoff.create () in
     let rec attempt () =
       let cur = A.get t.depot in
+      Global.note_depot_cas tid;
       if A.compare_and_set t.depot cur (chain :: cur) then ()
       else begin
+        s.cas_retries <- s.cas_retries + 1;
+        Global.note_depot_cas_retry tid;
         Backoff.once backoff;
         attempt ()
       end
@@ -171,14 +226,18 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     attempt ()
 
   (* Take one whole chain, or None when the depot is dry. O(1). *)
-  let depot_get t =
+  let depot_get t ~tid =
+    let s = t.slots.(tid) in
     let backoff = Backoff.create () in
     let rec attempt () =
       match A.get t.depot with
       | [] -> None
       | (chain :: rest) as cur ->
+          Global.note_depot_cas tid;
           if A.compare_and_set t.depot cur rest then Some chain
           else begin
+            s.cas_retries <- s.cas_retries + 1;
+            Global.note_depot_cas_retry tid;
             Backoff.once backoff;
             attempt ()
           end
@@ -198,7 +257,12 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
         Global.note_hit tid;
         Some n
     | [] -> (
-        match depot_get t with
+        let refill =
+          match t.backing with
+          | Depot -> depot_get t ~tid
+          | Slabs sl -> Sl.alloc_chain sl ~tid
+        in
+        match refill with
         | Some (len, n :: chain) ->
             s.free <- chain;
             s.count <- len - 1;
@@ -223,7 +287,9 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
       s.free <- [];
       s.count <- 0;
       s.depot_puts <- s.depot_puts + 1;
-      depot_put t (t.capacity, full)
+      (match t.backing with
+      | Depot -> depot_put t ~tid (t.capacity, full)
+      | Slabs sl -> Sl.free_chain sl ~tid (t.capacity, full))
     end;
     s.free <- n :: s.free;
     s.count <- s.count + 1
@@ -237,6 +303,7 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
     recycled : int;
     depot_puts : int;
     depot_gets : int;
+    depot_cas_retries : int;
   }
 
   let stats t =
@@ -248,9 +315,21 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
           recycled = acc.recycled + s.recycled;
           depot_puts = acc.depot_puts + s.depot_puts;
           depot_gets = acc.depot_gets + s.depot_gets;
+          depot_cas_retries = acc.depot_cas_retries + s.cas_retries;
         })
-      { hits = 0; misses = 0; recycled = 0; depot_puts = 0; depot_gets = 0 }
+      {
+        hits = 0;
+        misses = 0;
+        recycled = 0;
+        depot_puts = 0;
+        depot_gets = 0;
+        depot_cas_retries = 0;
+      }
       t.slots
+
+  (* Slab-store tallies when slab-backed; [None] on the depot. *)
+  let slab_stats t =
+    match t.backing with Depot -> None | Slabs sl -> Some (Sl.stats sl)
 
   let hit_rate t =
     let s = stats t in

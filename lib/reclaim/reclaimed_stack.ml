@@ -53,11 +53,14 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
 
   type 'a t = { top : 'a node option A.t; ebr : Ebr.t; mag : 'a node Mag.t }
 
-  let create ?(max_threads = 64) () =
+  (* [backing] selects the magazine's slow-path store: the PR 5 global
+     depot (default, pinned-schedule-stable) or the wait-free slab
+     store (`Slab). *)
+  let create ?(max_threads = 64) ?(backing = `Depot) () =
     {
       top = A.make_padded None;
       ebr = Ebr.create ~max_threads ();
-      mag = Mag.create ~max_threads ();
+      mag = Mag.create ~max_threads ~backing ();
     }
 
   (* [push t ~tid v ~on_reclaim] — [on_reclaim] runs once the node has
@@ -129,4 +132,5 @@ module Make (P : Sec_prim.Prim_intf.S) = struct
 
   let reclamation_stats t = Ebr.stats t.ebr
   let magazine_stats t = Mag.stats t.mag
+  let slab_stats t = Mag.slab_stats t.mag
 end

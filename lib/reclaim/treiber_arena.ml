@@ -1,0 +1,123 @@
+(* Off-heap Treiber stack ("TRB-OFH"): the node store is a
+   {!Slab.Make.Arena} — value and next-link live in Bigarray words
+   outside the OCaml heap, and integer handles replace pointers, so the
+   steady-state hot path allocates nothing the GC can see.
+
+   The payload is a bare [int]. That is not laziness: OCaml's uniform
+   representation puts any non-immediate payload behind a heap pointer
+   the GC must trace, and the only ways around it ([Obj] tag games)
+   are confined to lib/prim/padding.ml by lint rule 3. So the honest
+   off-heap structure is monomorphic; it is exercised by `sec_bench
+   alloc`, test/test_slab.ml, and the reclaim checker rather than
+   registered behind the polymorphic {!Sec_spec.Stack_intf.S} face
+   (docs/PERF.md, "Allocator").
+
+   Safety of handle reuse is the usual EBR argument, transplanted from
+   pointers to handles: a popped slot is freed only by the deferred
+   destructor, after a grace period, so no guard-holding reader can
+   observe a handle's next life — which also closes the CAS ABA window
+   on [top], exactly as the grace period does for pointer ABA in
+   {!Reclaimed_stack}. Every slot passes through the reclaim checker's
+   slab lifecycle ([note_slot_alloc]/[note_slot_free]), so double
+   frees and use-after-release in the arena are observable. *)
+
+(* Treiber under EBR: a failed CAS means a peer succeeded; arena alloc
+   and free never loop on shared state (the one batched splice is paced
+   and bounded by contention on a single slab's inbox). *)
+[@@@progress "lock_free"]
+[@@@spec "stack"]
+
+module Make (P : Sec_prim.Prim_intf.S) = struct
+  module A = P.Atomic
+  module Backoff = Sec_prim.Backoff.Make (P)
+  module Ebr = Ebr.Make (P)
+  module Sl = Slab.Make (P)
+  module Chk = Sec_analysis.Reclaim_checker
+
+  let nil = -1
+
+  type t = {
+    top : int A.t; (* handle of the top node, [nil] when empty *)
+    ebr : Ebr.t;
+    arena : Sl.Arena.t;
+  }
+
+  let name = "TRB-OFH"
+
+  let create ?(max_threads = 64) ?slab_slots ?max_slabs () =
+    {
+      top = A.make_padded nil;
+      ebr = Ebr.create ~max_threads ();
+      arena = Sl.Arena.create ?slab_slots ?max_slabs ~max_threads ();
+    }
+
+  let push t ~tid v =
+    let backoff = Backoff.create () in
+    Ebr.guard t.ebr ~tid (fun () ->
+        (* Slot alloc feeds the checker ([note_slot_alloc]) and starts
+           the node's shadow life; no OCaml-heap node exists at all, so
+           rule 8 has no literal to police here. *)
+        let h = Sl.Arena.alloc t.arena ~tid in
+        Sl.Arena.set_value t.arena h v;
+        let rec attempt () =
+          let cur = A.get t.top in
+          Sl.Arena.set_link t.arena h cur;
+          if A.compare_and_set t.top cur h then
+            Chk.note_publish ~fiber:tid ~node:(Sl.Arena.chk_id t.arena h)
+          else begin
+            Backoff.once backoff;
+            attempt ()
+          end
+        in
+        attempt ())
+
+  let pop t ~tid =
+    let backoff = Backoff.create () in
+    Ebr.guard t.ebr ~tid (fun () ->
+        let rec attempt () =
+          let cur = A.get t.top in
+          if cur = nil then None
+          else begin
+            let chk = Sl.Arena.chk_id t.arena cur in
+            Chk.note_access ~fiber:tid ~node:chk;
+            (* Reading the link of a node a peer may pop concurrently is
+               safe under the guard: its slot is freed only by the
+               deferred destructor, after the grace period. *)
+            let next = Sl.Arena.get_link t.arena cur in
+            if A.compare_and_set t.top cur next then begin
+              Chk.note_unlink ~fiber:tid ~node:chk;
+              let v = Sl.Arena.get_value t.arena cur in
+              Ebr.retire t.ebr ~tid ~chk (fun () ->
+                  Sl.Arena.free t.arena ~tid cur);
+              Some v
+            end
+            else begin
+              Backoff.once backoff;
+              attempt ()
+            end
+          end
+        in
+        attempt ())
+
+  let peek t ~tid =
+    Ebr.guard t.ebr ~tid (fun () ->
+        let cur = A.get t.top in
+        if cur = nil then None
+        else begin
+          Chk.note_access ~fiber:tid ~node:(Sl.Arena.chk_id t.arena cur);
+          Some (Sl.Arena.get_value t.arena cur)
+        end)
+
+  (* Drain deferred destructors, then publish any outbox batches they
+     produced (shutdown / tests). *)
+  let flush t ~tid =
+    Ebr.flush t.ebr ~tid;
+    Sl.Arena.flush_remote t.arena ~tid
+
+  (* End the arena's life (tests drive use-after-release through this;
+     production callers flush every tid first). *)
+  let release t ~tid = Sl.Arena.release t.arena ~tid
+  let reclamation_stats t = Ebr.stats t.ebr
+  let arena_stats t = Sl.Arena.stats t.arena
+  let arena_occupancy t = Sl.Arena.occupancy t.arena
+end

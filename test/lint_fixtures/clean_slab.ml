@@ -1,0 +1,47 @@
+(* All-quiet counterpart to bad_slab_fresh_node.ml (rule 8, PR 10): a
+   slab-recycling module whose every node comes from [Sl.alloc] with
+   the one fresh literal annotated [@fresh_ok] — and whose non-node
+   record literals (the handle in [create]) must not be mistaken for
+   hot-path allocations even though the module references [Slab]. *)
+[@@@progress "lock_free"]
+
+module A = Atomic
+module Sl = Slab.Make (Prim)
+
+type 'a node = {
+  mutable value : 'a; [@plain_ok "written while private to the pusher"]
+  mutable next : 'a node option; [@plain_ok "see [value]"]
+}
+
+type 'a t = { top : 'a node option A.t; slabs : 'a node Sl.t }
+
+let create ?(max_threads = 64) () =
+  { top = A.make_padded None; slabs = Sl.create ~max_threads () }
+
+let obtain t ~tid v =
+  match Sl.alloc t.slabs ~tid with
+  | Some n ->
+      n.value <- v;
+      n.next <- None;
+      n
+  | None ->
+      ({ value = v; next = None }
+      [@fresh_ok "slab miss: the store is dry and alloc is wait-free"])
+
+let push t ~tid v =
+  let backoff = Backoff.create () in
+  let node = obtain t ~tid v in
+  let rec attempt () =
+    let cur = A.get t.top in
+    node.next <- cur;
+    if A.compare_and_set t.top cur (Some node) then ()
+    else begin
+      Backoff.once backoff;
+      attempt ()
+    end
+  in
+  attempt ()
+
+let recycle t ~tid node =
+  node.next <- None;
+  Sl.free t.slabs ~tid node

@@ -388,9 +388,11 @@ let test_magazine_stale_cas_mutant () =
     analyze_mutant ~path:"reclaim/magazine.ml"
       ~what:
         "let cur = A.get t.depot in\n\
+        \      Global.note_depot_cas tid;\n\
         \      if A.compare_and_set t.depot cur (chain :: cur) then ()"
       ~with_:
         "let cur = [] in\n\
+        \      Global.note_depot_cas tid;\n\
         \      if A.compare_and_set t.depot cur (chain :: cur) then ()"
   in
   Alcotest.(check bool)
